@@ -1,0 +1,26 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure at full (or near-full)
+scale and prints the same rows/series the paper reports, directly to the
+terminal (bypassing capture) and into ``results/`` for the record.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered experiment table to the live terminal and save it."""
+
+    def _report(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _report

@@ -1,0 +1,29 @@
+"""Ablation benchmark: request routing policy x caching mode — what a
+front-end dispatcher (SWEB-style, cited by the paper) changes about the
+cooperative-caching story."""
+
+from repro.experiments import render_balancer_study, run_balancer_study
+
+
+def test_ablation_balancer(benchmark, report):
+    rows = benchmark.pedantic(
+        run_balancer_study,
+        kwargs=dict(n_requests=1_200),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_balancer", render_balancer_study(rows))
+
+    by = {(r.policy, r.mode): r for r in rows}
+    # Cooperative caching beats stand-alone under location-oblivious routing.
+    for policy in ("round_robin", "random", "least_loaded"):
+        assert (
+            by[(policy, "cooperative")].hits > by[(policy, "standalone")].hits
+        )
+    # Cache-affinity routing closes the hit-ratio gap without remote fetches.
+    hash_sa = by[("url_hash", "standalone")]
+    rr_coop = by[("round_robin", "cooperative")]
+    assert hash_sa.hits > 0.9 * rr_coop.hits
+    assert hash_sa.remote_hits == 0
+    # But affinity skews backend load while round-robin stays even.
+    assert hash_sa.backend_spread > by[("round_robin", "standalone")].backend_spread

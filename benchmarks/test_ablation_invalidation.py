@@ -1,0 +1,29 @@
+"""Ablation benchmark: content-consistency mechanisms under source churn —
+the invalidation strategies the paper lists as future work (§4.2)."""
+
+from repro.experiments import render_invalidation_study, run_invalidation_study
+
+
+def test_ablation_invalidation(benchmark, report):
+    rows = benchmark.pedantic(
+        run_invalidation_study,
+        kwargs=dict(n_requests=600),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_invalidation", render_invalidation_study(rows))
+
+    by = {r.scheme: r for r in rows}
+    # No-consistency serves the most hits but a substantial stale fraction.
+    assert by["none"].hits == max(r.hits for r in rows)
+    assert by["none"].stale_fraction > 0.1
+    # TTL cuts staleness but sacrifices hits.
+    assert by["ttl"].stale_fraction < by["none"].stale_fraction
+    assert by["ttl"].hits < by["none"].hits
+    assert by["ttl"].expirations > 0
+    # Targeted invalidation (monitor or app) keeps hits high AND staleness
+    # near zero.
+    for scheme in ("monitor", "app"):
+        assert by[scheme].stale_fraction < 0.02
+        assert by[scheme].hits > 0.85 * by["none"].hits
+        assert by[scheme].invalidated > 0

@@ -1,0 +1,22 @@
+"""Ablation benchmark: directory-locking granularity (paper §4.2's design
+discussion — Swala picks table-level locks)."""
+
+from repro.experiments import render_locking_ablation, run_locking_ablation
+
+
+def test_ablation_locking_granularity(benchmark, report):
+    rows = benchmark.pedantic(
+        run_locking_ablation,
+        kwargs=dict(n_nodes=4, n_requests=1_200, n_distinct=150),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_locking", render_locking_ablation(rows))
+
+    by = {r.granularity: r for r in rows}
+    # Table-level locking never waits longer than one big directory lock.
+    assert by["table"].lock_wait_time <= by["directory"].lock_wait_time
+    # All three configurations serve the workload in the same ballpark
+    # (the paper's argument is about scalability margins, not collapse).
+    times = [r.mean_response_time for r in rows]
+    assert max(times) < 3 * min(times)

@@ -1,0 +1,26 @@
+"""Ablation benchmark: the five-plus replacement policies under a small,
+overflowing cache (the paper's §3 trade-off discussion; the five methods
+themselves live in its companion tech report)."""
+
+from repro.experiments import render_policy_ablation, run_policy_ablation
+
+
+def test_ablation_replacement_policies(benchmark, report):
+    rows = benchmark.pedantic(
+        run_policy_ablation,
+        kwargs=dict(cache_size=20, n_nodes=4),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_policies", render_policy_ablation(rows))
+
+    by = {r.policy: r for r in rows}
+    assert set(by) == {"lru", "lfu", "size", "cost", "gds", "fifo"}
+    # Every policy produces hits under Zipf-skewed repetition.
+    for r in rows:
+        assert r.hits > 0
+        assert r.time_saved_weighted > 0
+    # Recency/frequency-aware policies must beat FIFO on hit count under a
+    # Zipf-skewed reference stream.
+    assert by["lru"].hits >= by["fifo"].hits * 0.85
+    assert by["lfu"].hits >= by["fifo"].hits * 0.85

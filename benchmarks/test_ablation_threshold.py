@@ -1,0 +1,39 @@
+"""Ablation benchmark: the §3 threshold trade-off + cache-size sweep."""
+
+from repro.experiments import (
+    render_cache_size_study,
+    render_threshold_study,
+    run_cache_size_study,
+    run_threshold_study,
+)
+
+
+def test_ablation_threshold(benchmark, report):
+    rows = benchmark.pedantic(run_threshold_study, rounds=1, iterations=1)
+    report("ablation_threshold", render_threshold_study(rows))
+
+    by = {r.min_exec_time: r for r in rows}
+    # Too low a threshold floods the small cache: eviction churn is maximal.
+    assert by[0.0].evictions == max(r.evictions for r in rows)
+    # Too high a threshold forfeits the benefit entirely.
+    assert by[5.0].exec_time_avoided == min(r.exec_time_avoided for r in rows)
+    # The best avoided-time sits at an interior threshold (paper: "selected
+    # carefully, based on the system workload").
+    best = max(rows, key=lambda r: r.exec_time_avoided)
+    assert 0.0 < best.min_exec_time < 5.0
+
+
+def test_ablation_cache_size(benchmark, report):
+    rows = benchmark.pedantic(run_cache_size_study, rounds=1, iterations=1)
+    report("ablation_cache_size", render_cache_size_study(rows))
+
+    # Hits rise monotonically with cache size and saturate near the bound.
+    hits = [r.hits for r in rows]
+    assert hits == sorted(hits)
+    assert rows[-1].percent_of_bound > 90.0
+    # Eviction churn falls monotonically to zero once everything fits.
+    evictions = [r.evictions for r in rows]
+    assert evictions == sorted(evictions, reverse=True)
+    assert rows[-1].evictions == 0
+    # Response time improves (weakly) with cache size.
+    assert rows[-1].mean_response_time <= rows[0].mean_response_time

@@ -1,0 +1,23 @@
+"""Ablation benchmark: TTL-based content consistency (paper §4.2) — the
+freshness/hit-rate trade-off of the weak consistency protocol."""
+
+from repro.experiments import render_ttl_ablation, run_ttl_ablation
+
+
+def test_ablation_ttl(benchmark, report):
+    rows = benchmark.pedantic(
+        run_ttl_ablation,
+        kwargs=dict(ttls=(2.0, 10.0, 60.0, float("inf"))),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_ttl", render_ttl_ablation(rows))
+
+    by = {r.ttl: r for r in rows}
+    # Infinite TTL (the digital-library setting) maximizes hits.
+    assert by[float("inf")].hits == max(r.hits for r in rows)
+    # Short TTLs actually expire entries.
+    assert by[2.0].expirations > by[60.0].expirations
+    # Hits rise monotonically with TTL.
+    ordered = [by[2.0].hits, by[10.0].hits, by[60.0].hits, by[float("inf")].hits]
+    assert ordered == sorted(ordered)

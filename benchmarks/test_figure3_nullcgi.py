@@ -1,0 +1,23 @@
+"""Benchmark: Figure 3 — null-CGI response times across the five server
+configurations (24 clients on 3 machines, as in the paper)."""
+
+from repro.experiments import render_figure3, run_figure3
+
+
+def test_figure3_nullcgi(benchmark, report):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs=dict(n_clients=24, requests_per_client=20, n_client_hosts=3),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure3", render_figure3(result))
+
+    # Shape: Swala-no-cache comparable to HTTPd, both faster than Enterprise.
+    assert result.swala_no_cache < result.enterprise
+    assert 0.4 < result.swala_no_cache / result.httpd < 1.2
+    # Shape: cache fetches are an order of magnitude below execution.
+    assert result.swala_local < result.swala_no_cache / 5
+    assert result.swala_remote < result.swala_no_cache / 3
+    # Shape: remote fetch costs a small constant over local fetch.
+    assert 0 < result.remote_overhead < result.swala_local * 2

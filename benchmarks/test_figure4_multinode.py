@@ -1,0 +1,26 @@
+"""Benchmark: Figure 4 — multi-node response time with/without cooperative
+caching, 1..8 nodes, ADL-derived synthetic workload (2 clients x 8
+threads)."""
+
+from repro.experiments import render_figure4, run_figure4
+from repro.metrics import speedup
+
+
+def test_figure4_multinode(benchmark, report):
+    rows = benchmark.pedantic(
+        run_figure4,
+        kwargs=dict(node_counts=(1, 2, 4, 6, 8), scale=0.02),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure4", render_figure4(rows))
+
+    # Shape: cooperative caching yields a much lower response time
+    # (paper: ~25% at 8 nodes).
+    eight = [r for r in rows if r.nodes == 8][0]
+    assert 10.0 < eight.improvement_percent < 50.0
+    # Shape: Swala scales well (paper: speedup ~9 at 8 nodes).
+    assert speedup(rows[0].no_cache, eight.no_cache) > 5.5
+    # Response times fall monotonically with node count.
+    series = [r.coop_cache for r in rows]
+    assert series == sorted(series, reverse=True)

@@ -1,0 +1,34 @@
+"""Performance microbenchmark: replacement-policy overhead under churn.
+
+All six policies must sustain heavy insert/access/evict traffic; this
+catches accidental O(n^2) regressions in the policy structures (heap
+staleness in GDS, OrderedDict discipline in LRU, scan costs elsewhere).
+"""
+
+import pytest
+
+from repro.cache import POLICY_NAMES, CacheEntry, CacheStore
+from repro.hosts import Machine
+from repro.sim import Simulator
+
+
+def _churn(policy: str, n_ops: int, capacity: int = 128) -> int:
+    fs = Machine(Simulator(), "m").fs
+    store = CacheStore(fs, capacity=capacity, policy=policy)
+    for i in range(n_ops):
+        url = f"/u{(i * 7919) % 500}"
+        if url in store:
+            store.record_access(url, float(i))
+        else:
+            store.insert(
+                CacheEntry(url=url, owner="m", size=100 + i % 1000,
+                           exec_time=0.1 + (i % 50) / 10.0, created=float(i)),
+                float(i),
+            )
+    return len(store)
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_perf_policy_churn(benchmark, policy):
+    result = benchmark(_churn, policy, 4_000)
+    assert result == 128

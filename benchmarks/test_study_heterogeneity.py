@@ -1,0 +1,26 @@
+"""Study benchmark: heterogeneous node speeds — un-pinning the paper's
+dual-CPU Ultra 2s vs a straggler node, crossed with the caching mode."""
+
+from repro.experiments import (
+    render_heterogeneity_study,
+    run_heterogeneity_study,
+)
+
+
+def test_study_heterogeneity(benchmark, report):
+    rows = benchmark.pedantic(
+        run_heterogeneity_study, kwargs=dict(n_requests=800),
+        rounds=1, iterations=1,
+    )
+    report("study_heterogeneity", render_heterogeneity_study(rows))
+
+    by = {(r.config, r.mode): r for r in rows}
+    # Un-pinning the fast nodes helps both modes.
+    assert by[("two-fast", "cooperative")].mean_rt < by[("uniform", "cooperative")].mean_rt
+    assert by[("two-fast", "standalone")].mean_rt < by[("uniform", "standalone")].mean_rt
+    # A straggler hurts both modes.
+    assert by[("straggler", "cooperative")].mean_rt > by[("uniform", "cooperative")].mean_rt
+    assert by[("straggler", "standalone")].mean_rt > by[("uniform", "standalone")].mean_rt
+    # Cooperation still wins in every hardware configuration.
+    for config in ("uniform", "two-fast", "straggler"):
+        assert by[(config, "cooperative")].mean_rt < by[(config, "standalone")].mean_rt

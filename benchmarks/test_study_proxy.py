@@ -1,0 +1,25 @@
+"""Study benchmark: proxy caching (network bottleneck) vs server-side CGI
+caching (CPU bottleneck) — the paper's §1–2 positioning argument, run."""
+
+from repro.experiments import render_proxy_study, run_proxy_study
+
+
+def test_study_proxy_vs_server_cache(benchmark, report):
+    rows = benchmark.pedantic(
+        run_proxy_study, kwargs=dict(scale=0.01), rounds=1, iterations=1
+    )
+    report("study_proxy", render_proxy_study(rows))
+
+    by = {r.config: r for r in rows}
+    # The proxy slashes file latency (network bottleneck removed)...
+    assert by["proxy"].file_rt < by["direct"].file_rt / 3
+    # ...but barely moves CGI latency (CPU-bound at the origin).
+    assert abs(by["proxy"].cgi_rt - by["direct"].cgi_rt) < 0.25 * by["direct"].cgi_rt
+    # Server-side caching attacks the CGI side instead.
+    assert by["swala"].cgi_rt < by["direct"].cgi_rt
+    assert by["swala"].server_hits > 0
+    # The two mechanisms compose: best of both worlds.
+    both = by["proxy+swala"]
+    assert both.file_rt < by["direct"].file_rt / 3
+    assert both.cgi_rt < by["direct"].cgi_rt
+    assert both.mean_rt == min(r.mean_rt for r in rows)

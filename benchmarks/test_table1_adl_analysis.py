@@ -1,0 +1,18 @@
+"""Benchmark: Table 1 — ADL log analysis at full paper scale (69,337
+requests), regenerating the potential-saving rows."""
+
+from repro.experiments import PAPER_1S_ROW, render_table1, run_table1
+
+
+def test_table1_adl_analysis(benchmark, report):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report("table1", render_table1(result))
+
+    one_sec = {r.threshold: r for r in result.rows}[1.0]
+    # Shape: the 1-second row lands near the paper's published numbers.
+    assert abs(one_sec.unique_repeats - PAPER_1S_ROW["unique_repeats"]) < 60
+    assert abs(one_sec.total_repeats - PAPER_1S_ROW["total_repeats"]) < 600
+    assert 20.0 < one_sec.saved_percent < 35.0
+    # The log itself matches the paper's aggregates.
+    assert result.total_requests == 69_337
+    assert 1.3 < result.mean_cgi_time < 1.9

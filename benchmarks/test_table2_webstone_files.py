@@ -1,0 +1,25 @@
+"""Benchmark: Table 2 — WebStone file-mix response times for HTTPd,
+Enterprise and Swala across client counts."""
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_webstone_files(benchmark, report):
+    rows = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(client_counts=(4, 8, 16, 32, 64), requests_per_client=25),
+        rounds=1,
+        iterations=1,
+    )
+    report("table2", render_table2(rows))
+
+    # Shape: Swala 2-7x faster than HTTPd at every load point.
+    for r in rows:
+        assert 2.0 < r.httpd_over_swala < 8.5
+    # Shape: Enterprise slightly faster at few clients, slower at many.
+    assert rows[0].enterprise < rows[0].swala
+    assert rows[-1].enterprise > rows[-1].swala
+    # Response times grow with client count for every server.
+    for attr in ("httpd", "enterprise", "swala"):
+        series = [getattr(r, attr) for r in rows]
+        assert series == sorted(series)

@@ -1,0 +1,22 @@
+"""Benchmark: Table 3 — miss+insert+broadcast overhead, 2..8 nodes, 180
+unique one-second requests to a single node."""
+
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_insert_overhead(benchmark, report):
+    rows = benchmark.pedantic(
+        run_table3,
+        kwargs=dict(node_counts=(2, 3, 4, 5, 6, 7, 8), n_requests=180),
+        rounds=1,
+        iterations=1,
+    )
+    report("table3", render_table3(rows))
+
+    # Shape: the overhead is insignificant (paper: well under 1% of the
+    # one-second request time) at every cluster size.
+    for r in rows:
+        assert 0 <= r.increase < 0.02 * r.no_cache
+    # Shape: and essentially independent of the number of nodes.
+    increases = [r.increase for r in rows]
+    assert max(increases) - min(increases) < 0.01

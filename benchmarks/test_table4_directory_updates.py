@@ -1,0 +1,21 @@
+"""Benchmark: Table 4 — replicated directory maintenance overhead under a
+pseudo-server update stream (simulated 8-node group)."""
+
+from repro.experiments import render_table4, run_table4
+
+
+def test_table4_directory_updates(benchmark, report):
+    rows = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(update_rates=(0.0, 10.0, 20.0, 50.0, 100.0), n_requests=180),
+        rounds=1,
+        iterations=1,
+    )
+    report("table4", render_table4(rows))
+
+    # Shape: insignificant increase on one-second requests at every rate.
+    base = rows[0].response_time
+    for r in rows:
+        assert r.increase < 0.03 * base
+    # Shape: overhead grows (weakly) with the update rate.
+    assert rows[-1].increase >= rows[1].increase - 0.002

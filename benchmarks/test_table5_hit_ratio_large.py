@@ -1,0 +1,28 @@
+"""Benchmark: Table 5 — stand-alone vs cooperative hit ratios at cache size
+2000 (everything fits; cooperation wins purely by sharing entries)."""
+
+from repro.experiments import render_hit_ratio_table, run_table5
+
+
+def test_table5_hit_ratio_large(benchmark, report):
+    rows = benchmark.pedantic(
+        run_table5,
+        kwargs=dict(node_counts=(1, 2, 4, 6, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    report("table5", render_hit_ratio_table(rows, 2_000))
+
+    # Upper bound is exactly the paper's: 1,600 requests, 1,122 unique.
+    assert rows[0].cooperative.upper_bound == 478
+    # Shape: cooperative stays near-optimal at every node count
+    # (paper: 97.5%-99.4%).
+    for r in rows:
+        assert r.cooperative.percent_of_upper_bound > 93.0
+    # Shape: stand-alone degrades steadily as nodes are added.
+    sa = [r.standalone.percent_of_upper_bound for r in rows]
+    assert sa == sorted(sa, reverse=True)
+    assert sa[-1] < 60.0
+    # Cooperative substantially outperforms stand-alone on >1 node.
+    for r in rows[1:]:
+        assert r.cooperative.hits > r.standalone.hits * 1.2

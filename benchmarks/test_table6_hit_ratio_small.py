@@ -1,0 +1,27 @@
+"""Benchmark: Table 6 — hit ratios at cache size 20 (severe overflow;
+cooperation also aggregates capacity across nodes)."""
+
+from repro.experiments import render_hit_ratio_table, run_table6
+
+
+def test_table6_hit_ratio_small(benchmark, report):
+    rows = benchmark.pedantic(
+        run_table6,
+        kwargs=dict(node_counts=(1, 2, 4, 6, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    report("table6", render_hit_ratio_table(rows, 20))
+
+    # Shape: cooperative % of the bound *rises* with node count
+    # (paper: 28.7% -> 73.6%) because the combined cache grows.
+    co = [r.cooperative.percent_of_upper_bound for r in rows]
+    assert co == sorted(co)
+    assert co[-1] > 1.8 * co[0]
+    assert co[-1] > 45.0
+    # Shape: stand-alone stays low (paper: < 40%) at every node count.
+    for r in rows:
+        assert r.standalone.percent_of_upper_bound < 40.0
+    # Cooperative beats stand-alone once there is more than one node.
+    for r in rows[1:]:
+        assert r.cooperative.hits > r.standalone.hits

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: a digital-library web server.
+
+1. Synthesize an Alexandria-Digital-Library-like access log (69k requests,
+   41% CGI) and analyze how much an ideal CGI cache would save (paper §3,
+   Table 1).
+2. Replay a scaled slice of that log against a Swala cluster with caching
+   off and on, and compare the *measured* saving with the log analysis's
+   prediction.
+
+Run:  python examples/digital_library.py
+"""
+
+from repro.clients import ClientFleet
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.sim import Simulator
+from repro.workload import (
+    PAPER_ADL,
+    analyze_caching_potential,
+    generate_adl_trace,
+)
+
+
+def analyze_log():
+    print("Synthesizing the ADL access log (Sep-Oct 1997 statistics)...")
+    trace = generate_adl_trace(PAPER_ADL, seed=0)
+    cgi = trace.cgi_only()
+    print(
+        f"  {len(trace):,} requests, {len(cgi):,} CGI "
+        f"({100 * len(cgi) / len(trace):.1f}%), "
+        f"mean CGI time {cgi.mean_cpu_time():.2f}s, "
+        f"total service time {trace.total_service_time():,.0f}s"
+    )
+    print("\nPotential saving by caching CGIs above a time threshold:")
+    print(f"  {'threshold':>9} {'#long':>7} {'repeats':>8} "
+          f"{'entries':>8} {'saved(s)':>9} {'saved%':>7}")
+    for row in analyze_caching_potential(trace):
+        print(
+            f"  {row.threshold:>8.1f}s {row.long_requests:>7} "
+            f"{row.total_repeats:>8} {row.unique_repeats:>8} "
+            f"{row.time_saved:>9.0f} {row.saved_percent:>6.1f}%"
+        )
+    return trace
+
+
+def replay_scaled(n_nodes: int = 4, scale: float = 0.015):
+    workload = generate_adl_trace(PAPER_ADL.scaled(scale), seed=1).cgi_only()
+    print(
+        f"\nReplaying a scaled slice ({len(workload)} CGI requests, "
+        f"{workload.unique_count} unique) on {n_nodes} nodes..."
+    )
+    measured = {}
+    for mode in (CacheMode.NONE, CacheMode.COOPERATIVE):
+        sim = Simulator()
+        cluster = SwalaCluster(
+            sim, n_nodes, SwalaConfig(mode=mode, min_exec_time=0.5)
+        )
+        cluster.start()
+        fleet = ClientFleet(
+            sim, cluster.network, workload,
+            servers=cluster.node_names, n_threads=16, n_hosts=2,
+        )
+        times = fleet.run()
+        measured[mode] = times.mean
+        stats = cluster.stats()
+        print(
+            f"  {mode.value:12} mean response {times.mean:7.3f}s  "
+            f"hits={stats.hits}  false_misses={stats.false_misses}"
+        )
+    saving = 100 * (1 - measured[CacheMode.COOPERATIVE] / measured[CacheMode.NONE])
+    print(
+        f"\nMeasured saving from cooperative caching (0.5s threshold): "
+        f"{saving:.1f}%  (the paper's log analysis predicted ~29% for this "
+        f"kind of workload)"
+    )
+
+
+def main():
+    analyze_log()
+    replay_scaled()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Putting a front-end dispatcher in front of the Swala cluster.
+
+The paper pins each client thread to one node.  Real deployments route
+through a balancer — and the routing policy interacts with caching:
+hash-affinity routing gives even *stand-alone* caches a cooperative-level
+hit ratio (every repeat goes to the same node), at the price of load skew.
+
+Run:  python examples/load_balancing.py
+"""
+
+from repro.experiments import render_balancer_study, run_balancer_study
+from repro.metrics import bar_chart
+
+
+def main():
+    print("4 Swala nodes behind a dispatcher; 1,200 Zipf-skewed CGI "
+          "requests via 16 client threads.\n")
+    rows = run_balancer_study(n_requests=1_200)
+    print(render_balancer_study(rows))
+
+    coop = [(r.policy, r.mean_response_time) for r in rows
+            if r.mode == "cooperative"]
+    standalone = [(r.policy, r.mean_response_time) for r in rows
+                  if r.mode == "standalone"]
+    print()
+    print(bar_chart("mean response time, cooperative cache (s)", coop, unit="s"))
+    print()
+    print(bar_chart("mean response time, stand-alone cache (s)", standalone,
+                    unit="s"))
+
+    by = {(r.policy, r.mode): r for r in rows}
+    hash_sa = by[("url_hash", "standalone")]
+    rr_co = by[("round_robin", "cooperative")]
+    print(
+        f"\nurl_hash + stand-alone reaches {hash_sa.hit_ratio:.0%} hit ratio "
+        f"with zero remote fetches (vs {rr_co.hit_ratio:.0%} for cooperative "
+        f"+ round-robin), but skews backend load "
+        f"{hash_sa.backend_spread:.2f}x — cooperative caching keeps its "
+        f"hit ratio under any routing."
+    )
+
+
+if __name__ == "__main__":
+    main()

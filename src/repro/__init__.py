@@ -1,0 +1,46 @@
+"""Reproduction of *Cooperative Caching of Dynamic Content on a Distributed
+Web Server* (Holmedahl, Smith & Yang — HPDC 1998).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event engine;
+* :mod:`repro.hosts` — workstation model (CPU, disk, buffer-cached FS);
+* :mod:`repro.net` — switched-LAN model;
+* :mod:`repro.cache` — cache store + replacement policies;
+* :mod:`repro.servers` — baseline web servers (NCSA HTTPd, Enterprise);
+* :mod:`repro.core` — **Swala** itself: the cooperative CGI-result cache;
+* :mod:`repro.workload` / :mod:`repro.clients` — traces and WebStone-style
+  clients;
+* :mod:`repro.metrics` / :mod:`repro.experiments` — measurement and the
+  per-table/figure experiment harnesses.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.core import SwalaCluster, SwalaConfig, CacheMode
+    from repro.clients import ClientFleet
+    from repro.workload import zipf_cgi_trace
+
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n_nodes=4, config=SwalaConfig(mode=CacheMode.COOPERATIVE))
+    cluster.start()
+    fleet = ClientFleet(sim, cluster.network, zipf_cgi_trace(400, 80),
+                        servers=cluster.node_names, n_threads=8)
+    times = fleet.run()
+    print(times.mean, cluster.stats().hit_ratio)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "hosts",
+    "net",
+    "cache",
+    "servers",
+    "core",
+    "workload",
+    "clients",
+    "metrics",
+    "experiments",
+]

@@ -1,0 +1,233 @@
+"""Cache replacement policies.
+
+The paper implements five replacement methods in Swala (§3 refers to the
+companion technical report; the dimensions it names are "execution time,
+access frequency, time of access, size etc.").  We provide the five natural
+instantiations plus the GreedyDual-Size policy of Cao & Irani — the
+cost-aware algorithm the paper cites as related work ([5]):
+
+* ``LRU``   — evict the least recently used entry;
+* ``LFU``   — evict the least frequently used entry;
+* ``SIZE``  — evict the largest entry (keep many small results);
+* ``COST``  — evict the cheapest-to-regenerate entry (lowest exec time);
+* ``GDS``   — GreedyDual-Size with cost = exec time (combines recency,
+  regeneration cost and size);
+* ``FIFO``  — evict the oldest insertion (baseline).
+
+All policies expose the same three hooks so the store can drive them
+uniformly; ties break on the URL for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .entry import CacheEntry
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "SizePolicy",
+    "CostPolicy",
+    "GreedyDualSizePolicy",
+    "FIFOPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class ReplacementPolicy:
+    """Interface: notified of inserts/accesses/removals, picks victims."""
+
+    name = "abstract"
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        raise NotImplementedError
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> CacheEntry:
+        """The entry to evict next.  Undefined when the policy is empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} tracking={len(self)}>"
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, O(1) via an ordered dict."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._order[entry.url] = entry
+        self._order.move_to_end(entry.url)
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        self._order.move_to_end(entry.url)
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._order.pop(entry.url, None)
+
+    def victim(self) -> CacheEntry:
+        url = next(iter(self._order))
+        return self._order[url]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class _ScanPolicy(ReplacementPolicy):
+    """Base for policies that pick the minimum of a key over all entries.
+
+    O(n) victim selection; Swala's caches are directory-limited (hundreds
+    to low thousands of entries), so a scan is simpler than maintaining an
+    index and plenty fast.
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, CacheEntry] = {}
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._entries[entry.url] = entry
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        pass
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._entries.pop(entry.url, None)
+
+    def _key(self, entry: CacheEntry):
+        raise NotImplementedError
+
+    def victim(self) -> CacheEntry:
+        return min(self._entries.values(), key=lambda e: (self._key(e), e.url))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LFUPolicy(_ScanPolicy):
+    """Evict the entry with the fewest accesses (recency breaks ties)."""
+
+    name = "lfu"
+
+    def _key(self, entry: CacheEntry):
+        return (entry.access_count, entry.last_access)
+
+
+class SizePolicy(_ScanPolicy):
+    """Evict the largest entry first (negated size as the minimum key)."""
+
+    name = "size"
+
+    def _key(self, entry: CacheEntry):
+        return (-entry.size, entry.last_access)
+
+
+class CostPolicy(_ScanPolicy):
+    """Evict the entry that is cheapest to re-execute."""
+
+    name = "cost"
+
+    def _key(self, entry: CacheEntry):
+        return (entry.exec_time, entry.last_access)
+
+
+class FIFOPolicy(_ScanPolicy):
+    """Evict the oldest insertion."""
+
+    name = "fifo"
+
+    def _key(self, entry: CacheEntry):
+        return entry.created
+
+
+class GreedyDualSizePolicy(ReplacementPolicy):
+    """GreedyDual-Size (Cao & Irani, USITS '97) with cost = exec time.
+
+    Each entry carries credit ``H = L + cost / size``; hits refresh the
+    credit; eviction takes the minimum ``H`` and raises the inflation
+    floor ``L`` to it.  Implemented with a heap and lazy invalidation.
+    """
+
+    name = "gds"
+
+    def __init__(self):
+        self._h: Dict[str, float] = {}
+        self._entries: Dict[str, CacheEntry] = {}
+        self._heap: list = []  # (H, url)
+        self.inflation = 0.0  # L
+
+    def _credit(self, entry: CacheEntry) -> float:
+        size = max(entry.size, 1)
+        return self.inflation + entry.exec_time / size
+
+    def _push(self, entry: CacheEntry) -> None:
+        h = self._credit(entry)
+        self._h[entry.url] = h
+        self._entries[entry.url] = entry
+        heapq.heappush(self._heap, (h, entry.url))
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._push(entry)
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        if entry.url in self._entries:
+            self._push(entry)  # refresh credit; stale heap items are skipped
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._h.pop(entry.url, None)
+        self._entries.pop(entry.url, None)
+
+    def victim(self) -> CacheEntry:
+        while self._heap:
+            h, url = self._heap[0]
+            current = self._h.get(url)
+            if current is None or current != h:
+                heapq.heappop(self._heap)  # stale
+                continue
+            self.inflation = h
+            return self._entries[url]
+        raise LookupError("empty GreedyDual-Size policy")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (
+        LRUPolicy,
+        LFUPolicy,
+        SizePolicy,
+        CostPolicy,
+        GreedyDualSizePolicy,
+        FIFOPolicy,
+    )
+}
+
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (see ``POLICY_NAMES``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None

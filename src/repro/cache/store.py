@@ -1,0 +1,117 @@
+"""The local cache store: entry files on disk + replacement policy.
+
+Swala stores each cached result in its own OS file and keeps only the
+directory in memory; the cache is limited by a maximum entry count (the
+paper's hit-ratio experiments use "cache size 2000" and "cache size 20",
+counted in entries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hosts import FileSystem
+from .entry import CacheEntry
+from .policies import ReplacementPolicy, make_policy
+
+__all__ = ["CacheStore"]
+
+
+class CacheStore:
+    """Entry-count-bounded result store on one node."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        capacity: int,
+        policy: str = "lru",
+        owner: str = "",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.fs = fs
+        self.capacity = capacity
+        self.owner = owner
+        self.policy: ReplacementPolicy = make_policy(policy)
+        self._entries: Dict[str, CacheEntry] = {}
+        self.insertions = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def get(self, url: str) -> Optional[CacheEntry]:
+        return self._entries.get(url)
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries.values())
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, entry: CacheEntry, now: float) -> List[CacheEntry]:
+        """Add ``entry``; returns the entries evicted to make room.
+
+        The result file is created in the buffer cache (the CGI just wrote
+        it); the caller is responsible for charging the write CPU cost and
+        for broadcasting the insert + any eviction deletes.
+        """
+        evicted: List[CacheEntry] = []
+        if entry.url in self._entries:
+            # Re-insert (e.g. refresh after expiry): replace in place.
+            self._remove(self._entries[entry.url])
+        while len(self._entries) >= self.capacity:
+            victim = self.policy.victim()
+            self._remove(victim)
+            evicted.append(victim)
+            self.evictions += 1
+        self._entries[entry.url] = entry
+        self.policy.on_insert(entry, now)
+        self.fs.create(entry.file_path, entry.size)
+        self.fs.warm(entry.file_path)  # the tee just wrote it
+        self.insertions += 1
+        return evicted
+
+    def record_access(self, url: str, now: float) -> None:
+        """Owner-side meta-data update after a successful fetch."""
+        entry = self._entries.get(url)
+        if entry is None:
+            raise KeyError(f"no entry for {url!r} on {self.owner!r}")
+        entry.touch(now)
+        self.policy.on_access(entry, now)
+
+    def remove(self, url: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(url)
+        if entry is not None:
+            self._remove(entry)
+        return entry
+
+    def _remove(self, entry: CacheEntry) -> None:
+        del self._entries[entry.url]
+        self.policy.on_remove(entry)
+        if self.fs.exists(entry.file_path):
+            self.fs.unlink(entry.file_path)
+
+    def expired_entries(self, now: float) -> List[CacheEntry]:
+        return [e for e in self._entries.values() if e.expired(now)]
+
+    def purge_expired(self, now: float) -> List[CacheEntry]:
+        """Drop every expired entry; returns what was purged."""
+        purged = self.expired_entries(now)
+        for entry in purged:
+            self._remove(entry)
+            self.expirations += 1
+        return purged
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStore owner={self.owner!r} {len(self._entries)}/{self.capacity} "
+            f"policy={self.policy.name}>"
+        )

@@ -1,0 +1,398 @@
+"""Command-line interface: regenerate any paper table/figure, run the
+ablations, analyze real access logs, and synthesize workload traces.
+
+Examples::
+
+    python -m repro table1
+    python -m repro figure4 --nodes 1 2 4 8 --scale 0.02
+    python -m repro table5 --nodes 1 4 8
+    python -m repro ablation invalidation
+    python -m repro analyze-log access.log --thresholds 0.5 1 2
+    python -m repro gen-trace zipf -n 1000 -d 150 -o trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import experiments as ex
+from .workload import (
+    PAPER_ADL,
+    describe_trace,
+    load_trace,
+    render_trace_summary,
+    analyze_caching_potential,
+    generate_adl_trace,
+    hit_ratio_trace,
+    load_clf,
+    save_trace,
+    webstone_file_trace,
+    zipf_cgi_trace,
+)
+from .metrics import render_table, write_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text)
+    if output:
+        Path(output).write_text(text + "\n")
+
+
+def _export(rows, args) -> None:
+    """Write structured rows if the command asked for --export."""
+    export = getattr(args, "export", None)
+    if export and rows is not None:
+        write_rows(list(rows), export)
+        print(f"(structured rows exported to {export})")
+
+
+# ---------------------------------------------------------------------------
+# subcommand runners
+# ---------------------------------------------------------------------------
+
+def _cmd_table1(args) -> int:
+    spec = PAPER_ADL if args.scale == 1.0 else PAPER_ADL.scaled(args.scale)
+    result = ex.run_table1(spec, seed=args.seed)
+    _emit(ex.render_table1(result), args.output)
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    rows = ex.run_table2(
+        client_counts=tuple(args.clients),
+        requests_per_client=args.requests_per_client,
+        seed=args.seed,
+    )
+    _emit(ex.render_table2(rows), args.output)
+    _export(rows, args)
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    result = ex.run_figure3(
+        n_clients=args.clients, requests_per_client=args.requests_per_client
+    )
+    _emit(ex.render_figure3(result), args.output)
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    rows = ex.run_figure4(
+        node_counts=tuple(args.nodes), scale=args.scale, seed=args.seed
+    )
+    _emit(ex.render_figure4(rows), args.output)
+    _export(rows, args)
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    rows = ex.run_table3(node_counts=tuple(args.nodes), n_requests=args.requests)
+    _emit(ex.render_table3(rows), args.output)
+    _export(rows, args)
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    rows = ex.run_table4(update_rates=tuple(args.rates), n_requests=args.requests)
+    _emit(ex.render_table4(rows), args.output)
+    _export(rows, args)
+    return 0
+
+
+def _cmd_table5(args) -> int:
+    rows = ex.run_table5(node_counts=tuple(args.nodes), seed=args.seed)
+    _emit(ex.render_hit_ratio_table(rows, 2_000), args.output)
+    return 0
+
+
+def _cmd_table6(args) -> int:
+    rows = ex.run_table6(node_counts=tuple(args.nodes), seed=args.seed)
+    _emit(ex.render_hit_ratio_table(rows, 20), args.output)
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    runners = {
+        "policies": lambda: ex.render_policy_ablation(ex.run_policy_ablation()),
+        "locking": lambda: ex.render_locking_ablation(ex.run_locking_ablation()),
+        "ttl": lambda: ex.render_ttl_ablation(ex.run_ttl_ablation()),
+        "invalidation": lambda: ex.render_invalidation_study(
+            ex.run_invalidation_study()
+        ),
+        "balancer": lambda: ex.render_balancer_study(ex.run_balancer_study()),
+        "threshold": lambda: ex.render_threshold_study(
+            ex.run_threshold_study()
+        ),
+        "cache-size": lambda: ex.render_cache_size_study(
+            ex.run_cache_size_study()
+        ),
+    }
+    _emit(runners[args.which](), args.output)
+    return 0
+
+
+def _cmd_study(args) -> int:
+    runners = {
+        "proxy": lambda: ex.render_proxy_study(ex.run_proxy_study()),
+        "capacity": lambda: ex.render_capacity_study(ex.run_capacity_study()),
+        "heterogeneity": lambda: ex.render_heterogeneity_study(
+            ex.run_heterogeneity_study()
+        ),
+    }
+    _emit(runners[args.which](), args.output)
+    return 0
+
+
+def _cmd_analyze_log(args) -> int:
+    path = Path(args.logfile)
+    if not path.exists():
+        print(f"error: no such log file: {path}", file=sys.stderr)
+        return 2
+    trace = load_clf(
+        path.read_text().splitlines(),
+        default_cgi_time=args.default_cgi_time,
+    )
+    if not len(trace):
+        print("error: no analyzable GET requests in the log", file=sys.stderr)
+        return 2
+    rows = analyze_caching_potential(trace, thresholds=args.thresholds)
+    text = render_table(
+        f"Caching potential for {path.name} ({len(trace)} requests, "
+        f"{len(trace.cgi_only())} dynamic)",
+        ["threshold (s)", "# long", "# repeats", "# uniq repeats",
+         "saved (s)", "saved %"],
+        [
+            (r.threshold, r.long_requests, r.total_repeats, r.unique_repeats,
+             r.time_saved, r.saved_percent)
+            for r in rows
+        ],
+    )
+    _emit(text, args.output)
+    return 0
+
+
+def _cmd_gen_trace(args) -> int:
+    if args.kind == "adl":
+        trace = generate_adl_trace(PAPER_ADL.scaled(args.scale), seed=args.seed)
+    elif args.kind == "webstone":
+        trace = webstone_file_trace(args.n, seed=args.seed)
+    elif args.kind == "zipf":
+        trace = zipf_cgi_trace(args.n, args.distinct, seed=args.seed)
+    else:  # hit-ratio
+        trace = hit_ratio_trace(total=args.n, unique=args.distinct, seed=args.seed)
+    save_trace(trace, args.out)
+    print(
+        f"wrote {len(trace)} requests ({trace.unique_count} unique) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_run_config(args) -> int:
+    """Run a saved trace against a cluster built from a Swala config file."""
+    from .clients import ClientFleet
+    from .core import SwalaCluster, load_config
+    from .sim import Simulator
+    from .workload import describe_trace, render_trace_summary
+
+    config_path = Path(args.configfile)
+    trace_path = Path(args.trace)
+    for path, what in ((config_path, "config"), (trace_path, "trace")):
+        if not path.exists():
+            print(f"error: no such {what} file: {path}", file=sys.stderr)
+            return 2
+    config = load_config(config_path)
+    trace = load_trace(trace_path)
+    if not len(trace):
+        print("error: empty trace", file=sys.stderr)
+        return 2
+
+    sim = Simulator()
+    cluster = SwalaCluster(sim, args.nodes, config)
+    cluster.install_files(trace)
+    cluster.start()
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names,
+        n_threads=args.clients, n_hosts=max(1, args.clients // 8),
+    )
+    times = fleet.run()
+    stats = cluster.stats()
+    lines = [
+        render_trace_summary(describe_trace(trace)),
+        "",
+        f"cluster: {args.nodes} node(s), mode={config.mode.value}, "
+        f"capacity={config.cache_capacity}, policy={config.policy}",
+        f"clients: {args.clients} closed-loop threads",
+        "",
+        f"mean response time: {times.mean:.4f}s   "
+        f"p95: {times.percentile(95):.4f}s",
+        f"hits: {stats.hits} (local {stats.local_hits}, remote "
+        f"{stats.remote_hits})   misses: {stats.misses}   "
+        f"hit ratio: {stats.hit_ratio:.1%}",
+        f"false hits: {stats.false_hits}   false misses: "
+        f"{stats.false_misses}   evictions: {stats.evictions}",
+    ]
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_describe_trace(args) -> int:
+    path = Path(args.tracefile)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    trace = load_trace(path)
+    _emit(render_trace_summary(describe_trace(trace, top_k=args.top)), args.output)
+    return 0
+
+
+def _cmd_all(args) -> int:
+    outdir = Path(args.output_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    jobs = [
+        ("table1", lambda: ex.render_table1(ex.run_table1())),
+        ("table2", lambda: ex.render_table2(ex.run_table2())),
+        ("figure3", lambda: ex.render_figure3(ex.run_figure3())),
+        ("figure4", lambda: ex.render_figure4(ex.run_figure4())),
+        ("table3", lambda: ex.render_table3(ex.run_table3())),
+        ("table4", lambda: ex.render_table4(ex.run_table4())),
+        ("table5", lambda: ex.render_hit_ratio_table(ex.run_table5(), 2_000)),
+        ("table6", lambda: ex.render_hit_ratio_table(ex.run_table6(), 20)),
+    ]
+    for name, job in jobs:
+        text = job()
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print()
+    print(f"all artifacts written to {outdir}/")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swala (HPDC '98) reproduction: regenerate paper tables/"
+        "figures, run ablations, analyze logs, synthesize traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--output", help="also write the table to this file")
+        p.add_argument("--export", help="write structured rows (.csv/.json)")
+
+    p = sub.add_parser("table1", help="ADL log caching-potential analysis")
+    common(p)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="shrink the synthetic log by this factor")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="WebStone file-fetch server comparison")
+    common(p)
+    p.add_argument("--clients", type=int, nargs="+", default=[4, 8, 16, 32, 64])
+    p.add_argument("--requests-per-client", type=int, default=25)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("figure3", help="null-CGI response-time comparison")
+    common(p)
+    p.add_argument("--clients", type=int, default=24)
+    p.add_argument("--requests-per-client", type=int, default=20)
+    p.set_defaults(func=_cmd_figure3)
+
+    p = sub.add_parser("figure4", help="multi-node scaling, cache vs no-cache")
+    common(p)
+    p.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 6, 8])
+    p.add_argument("--scale", type=float, default=0.02)
+    p.set_defaults(func=_cmd_figure4)
+
+    p = sub.add_parser("table3", help="insert+broadcast overhead")
+    common(p)
+    p.add_argument("--nodes", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7, 8])
+    p.add_argument("--requests", type=int, default=180)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("table4", help="directory-update overhead")
+    common(p)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 10.0, 20.0, 50.0, 100.0])
+    p.add_argument("--requests", type=int, default=180)
+    p.set_defaults(func=_cmd_table4)
+
+    for which, size in (("table5", 2_000), ("table6", 20)):
+        p = sub.add_parser(which, help=f"hit ratios, cache size {size}")
+        common(p)
+        p.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 6, 8])
+        p.set_defaults(func=_cmd_table5 if which == "table5" else _cmd_table6)
+
+    p = sub.add_parser("ablation", help="run one of the ablation studies")
+    common(p)
+    p.add_argument(
+        "which",
+        choices=["policies", "locking", "ttl", "invalidation", "balancer",
+                 "threshold", "cache-size"],
+    )
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("study", help="run one of the topology/capacity studies")
+    common(p)
+    p.add_argument("which", choices=["proxy", "capacity", "heterogeneity"])
+    p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser("analyze-log", help="Table-1 analysis of a real CLF log")
+    common(p)
+    p.add_argument("logfile")
+    p.add_argument("--thresholds", type=float, nargs="+",
+                   default=[0.1, 0.5, 1.0, 2.0])
+    p.add_argument("--default-cgi-time", type=float, default=1.6)
+    p.set_defaults(func=_cmd_analyze_log)
+
+    p = sub.add_parser("gen-trace", help="synthesize a workload trace file")
+    p.add_argument("kind", choices=["adl", "webstone", "zipf", "hit-ratio"])
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("-n", type=int, default=1_000, help="request count")
+    p.add_argument("-d", "--distinct", type=int, default=200)
+    p.add_argument("--scale", type=float, default=0.05, help="(adl only)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen_trace)
+
+    p = sub.add_parser(
+        "run-config",
+        help="run a saved trace against a cluster built from a Swala "
+        "configuration file",
+    )
+    p.add_argument("configfile")
+    p.add_argument("--trace", required=True, help="trace file (.jsonl)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_run_config)
+
+    p = sub.add_parser("describe-trace", help="summarize a saved trace file")
+    p.add_argument("tracefile")
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--output", help="also write the summary to this file")
+    p.set_defaults(func=_cmd_describe_trace)
+
+    p = sub.add_parser("all", help="regenerate every table and figure")
+    p.add_argument("--output-dir", default="results")
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

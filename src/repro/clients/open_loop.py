@@ -1,0 +1,139 @@
+"""Open-loop (arrival-driven) request sources.
+
+The closed-loop :class:`~repro.clients.ClientThread` models WebStone: a
+fixed population of clients, each waiting for its response.  A production
+server instead sees an *arrival process* — requests show up when the
+outside world sends them, regardless of how the server is doing.  This
+module replays timestamped traces (or synthesizes Poisson arrivals) that
+way, which is how the real ADL front end experienced its log.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from ..core.protocol import HTTP_REQUEST_BYTES, HttpConnection, HttpResponse
+from ..net import Network
+from ..servers.base import HTTP_PORT
+from ..sim import Event, Process, RandomStreams, Simulator, Tally
+from ..workload import Request, TimedRequest, Trace
+
+__all__ = ["OpenLoopSource", "poisson_timed_trace"]
+
+_source_ids = itertools.count()
+
+
+def poisson_timed_trace(
+    trace: Trace, rate: float, seed: int = 0
+) -> List[TimedRequest]:
+    """Stamp a trace with Poisson arrival times at ``rate`` req/s."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = RandomStreams(seed).stream("poisson-arrivals")
+    timed = []
+    t = 0.0
+    for request in trace:
+        t += rng.expovariate(rate)
+        timed.append(TimedRequest(time=t, request=request))
+    return timed
+
+
+class OpenLoopSource:
+    """Fires timestamped requests at servers without waiting for replies.
+
+    Requests go to ``servers[i % len(servers)]`` in arrival order (spraying)
+    — pass a single-element list to pin a node.  Response times are
+    recorded as replies come back; :meth:`start` returns a process that
+    ends when *all* responses have arrived.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: str,
+        servers: Sequence[str],
+        timed_requests: Sequence[TimedRequest],
+        name: str = "",
+    ):
+        if not servers:
+            raise ValueError("need at least one server")
+        times = [tr.time for tr in timed_requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("timed requests must be sorted by arrival time")
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.servers = list(servers)
+        self.timed_requests = list(timed_requests)
+        self.name = name or f"openloop{next(_source_ids)}"
+        self.reply_port = f"reply-{self.name}"
+        self.reply_box = network.register(host, self.reply_port)
+        self.response_times = Tally(f"{self.name}.rt")
+        self.responses: List[HttpResponse] = []
+        self._process: Optional[Process] = None
+        self._waiter: Optional[Event] = None
+
+    def start(self) -> Process:
+        if self._process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self.sim.process(self._collector(), name=f"{self.name}.rx")
+        self._process = self.sim.process(self._emitter(), name=self.name)
+        return self._process
+
+    @property
+    def done(self) -> Process:
+        if self._process is None:
+            raise RuntimeError(f"{self.name} not started")
+        return self._process
+
+    def _emitter(self):
+        sent = 0
+        for i, timed in enumerate(self.timed_requests):
+            delay = timed.time - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            conn = HttpConnection(
+                request=timed.request,
+                client=self.host,
+                reply_port=self.reply_port,
+                sent_at=self.sim.now,
+            )
+            self.network.send(
+                self.host,
+                self.servers[i % len(self.servers)],
+                HTTP_PORT,
+                conn,
+                HTTP_REQUEST_BYTES,
+            )
+            sent += 1
+        # Wait for the collector to account for every response.
+        while self.response_times.count < sent:
+            yield self._more_responses()
+        return self.response_times
+
+    def _more_responses(self) -> Event:
+        """Event that fires when the collector logs another response."""
+        event = Event(self.sim)
+        self._waiter = event
+        return event
+
+    def _collector(self):
+        total = len(self.timed_requests)
+        for _ in range(total):
+            msg = yield self.reply_box.get()
+            response: HttpResponse = msg.payload
+            self.responses.append(response)
+            # Servers echo the connection's send time in the response, so
+            # latency is exact even when responses arrive out of order.
+            self.response_times.observe(self.sim.now - response.sent_at)
+            if self._waiter is not None:
+                waiter, self._waiter = self._waiter, None
+                waiter.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<OpenLoopSource {self.name!r} sent={len(self.timed_requests)} "
+            f"answered={self.response_times.count}>"
+        )

@@ -1,0 +1,152 @@
+"""A WebStone-style benchmark run.
+
+The real WebStone drives a server with a fixed client population for a
+fixed duration, discards a warm-up window, and reports throughput
+(connections/s, Mbit/s) and latency for the measurement window, per file
+class.  This module reproduces that methodology on the simulated stack —
+useful when you want load-driven numbers rather than trace replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.protocol import HTTP_REQUEST_BYTES, HttpConnection
+from ..net import Network
+from ..servers.base import HTTP_PORT
+from ..sim import AllOf, RandomStreams, Simulator, Tally
+from ..workload import WEBSTONE_FILE_MIX, Request
+
+__all__ = ["WebStoneReport", "WebStoneRun"]
+
+_run_ids = itertools.count()
+
+
+@dataclass
+class WebStoneReport:
+    """Measurement-window results of one run."""
+
+    duration: float
+    clients: int
+    connections: int
+    total_bytes: int
+    latency: Tally
+    per_class: Dict[int, Tally] = field(default_factory=dict)
+
+    @property
+    def connection_rate(self) -> float:
+        return self.connections / self.duration if self.duration else 0.0
+
+    @property
+    def throughput_mbit(self) -> float:
+        if not self.duration:
+            return 0.0
+        return self.total_bytes * 8 / 1e6 / self.duration
+
+    def summary(self) -> str:
+        lines = [
+            f"WebStone run: {self.clients} clients, {self.duration:g}s window",
+            f"  connections: {self.connections}  "
+            f"({self.connection_rate:.1f} conn/s)",
+            f"  throughput:  {self.throughput_mbit:.2f} Mbit/s",
+            f"  latency:     mean {self.latency.mean * 1e3:.2f} ms, "
+            f"p95 {self.latency.percentile(95) * 1e3:.2f} ms",
+        ]
+        for size in sorted(self.per_class):
+            tally = self.per_class[size]
+            lines.append(
+                f"    {size / 1024:8.1f} KB: n={tally.count:<6} "
+                f"mean {tally.mean * 1e3:8.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+class WebStoneRun:
+    """Duration-driven closed-loop load against one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server: str,
+        n_clients: int,
+        warmup: float = 2.0,
+        duration: float = 20.0,
+        n_hosts: int = 3,
+        mix: Sequence = WEBSTONE_FILE_MIX,
+        seed: int = 0,
+    ):
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        if warmup < 0 or duration <= 0:
+            raise ValueError("warmup must be >= 0 and duration > 0")
+        self.sim = sim
+        self.network = network
+        self.server = server
+        self.n_clients = n_clients
+        self.warmup = warmup
+        self.duration = duration
+        self.n_hosts = n_hosts
+        self.mix = list(mix)
+        self.seed = seed
+        self._run_id = next(_run_ids)
+
+    def _client(self, cid: int, report: WebStoneReport, streams: RandomStreams):
+        host = f"ws{self._run_id}h{cid % self.n_hosts}"
+        port = f"ws{self._run_id}reply{cid}"
+        box = self.network.register(host, port)
+        rng = streams.stream(f"client{cid}")
+        sizes = [s for s, _ in self.mix]
+        weights = [p for _, p in self.mix]
+        end = self.warmup + self.duration
+        while self.sim.now < end:
+            size = rng.choices(sizes, weights=weights)[0]
+            request = Request.file(f"/webstone/file{size}.bin", size)
+            sent_at = self.sim.now
+            self.network.send(
+                host, self.server, HTTP_PORT,
+                HttpConnection(request=request, client=host, reply_port=port,
+                               sent_at=sent_at),
+                HTTP_REQUEST_BYTES,
+            )
+            yield box.get()
+            elapsed = self.sim.now - sent_at
+            if sent_at >= self.warmup:
+                report.connections += 1
+                report.total_bytes += size
+                report.latency.observe(elapsed)
+                report.per_class.setdefault(size, Tally(f"{size}B")).observe(
+                    elapsed
+                )
+
+    def run(self, install_files_on=None) -> WebStoneReport:
+        """Execute the run; returns the measurement-window report.
+
+        ``install_files_on`` (a server object) gets the mix's file set
+        created in its docroot first.
+        """
+        if install_files_on is not None:
+            for size, _ in self.mix:
+                if not install_files_on.machine.fs.exists(
+                    f"/webstone/file{size}.bin"
+                ):
+                    install_files_on.machine.fs.create(
+                        f"/webstone/file{size}.bin", size
+                    )
+        report = WebStoneReport(
+            duration=self.duration,
+            clients=self.n_clients,
+            connections=0,
+            total_bytes=0,
+            latency=Tally("latency"),
+        )
+        streams = RandomStreams(self.seed)
+        procs = [
+            self.sim.process(self._client(cid, report, streams),
+                             name=f"wsclient{cid}")
+            for cid in range(self.n_clients)
+        ]
+        self.sim.run(until=AllOf(self.sim, procs))
+        return report

@@ -1,0 +1,66 @@
+"""Swala: the paper's contribution — cooperative caching of CGI results.
+
+Public surface: :class:`SwalaServer` (one node), :class:`SwalaCluster`
+(N nodes on a LAN), :class:`SwalaConfig` (caching mode, capacity, policy,
+TTL, thresholds, locking), plus the protocol/message types and statistics.
+"""
+
+from .cacher import FETCH_PORT, UPDATE_PORT, CacherModule
+from .config import CacheMode, LockingGranularity, SwalaConfig
+from .configfile import TtlRules, load_config, make_prefix_rule, parse_config
+from .cluster import SwalaCluster
+from .directory import CacheDirectory
+from .invalidation import (
+    INVALIDATE_MSG_BYTES,
+    INVALIDATION_PORT,
+    DependencyRegistry,
+    InvalidateUrl,
+)
+from .protocol import (
+    DIRECTORY_UPDATE_BYTES,
+    FETCH_MISS_BYTES,
+    FETCH_REQUEST_BYTES,
+    HTTP_REQUEST_BYTES,
+    HTTP_RESPONSE_HEADER_BYTES,
+    CacheDelete,
+    CacheInsert,
+    FetchReply,
+    FetchRequest,
+    HttpConnection,
+    HttpResponse,
+)
+from .server import SwalaServer
+from .stats import ClusterStats, NodeStats
+
+__all__ = [
+    "SwalaServer",
+    "SwalaCluster",
+    "SwalaConfig",
+    "TtlRules",
+    "load_config",
+    "parse_config",
+    "make_prefix_rule",
+    "CacheMode",
+    "LockingGranularity",
+    "CacherModule",
+    "CacheDirectory",
+    "NodeStats",
+    "ClusterStats",
+    "HttpConnection",
+    "HttpResponse",
+    "CacheInsert",
+    "CacheDelete",
+    "FetchRequest",
+    "FetchReply",
+    "UPDATE_PORT",
+    "FETCH_PORT",
+    "HTTP_REQUEST_BYTES",
+    "HTTP_RESPONSE_HEADER_BYTES",
+    "DIRECTORY_UPDATE_BYTES",
+    "FETCH_REQUEST_BYTES",
+    "FETCH_MISS_BYTES",
+    "DependencyRegistry",
+    "InvalidateUrl",
+    "INVALIDATION_PORT",
+    "INVALIDATE_MSG_BYTES",
+]

@@ -1,0 +1,126 @@
+"""Swala runtime configuration.
+
+Mirrors the knobs the paper exposes: the startup configuration file that
+controls which requests are cacheable and their TTLs (§4.1), the runtime
+execution-time limit below which results are not worth caching, the cache
+size, the replacement method, and the caching mode the experiments switch
+between (disabled / stand-alone / cooperative).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..workload import Request
+from .invalidation import DependencyRegistry
+
+__all__ = ["CacheMode", "LockingGranularity", "SwalaConfig"]
+
+
+class CacheMode(enum.Enum):
+    """How much caching machinery is active."""
+
+    #: Plain web server: the cacher module never sees a request.
+    NONE = "none"
+    #: Each node caches what it serves; nodes are unaware of each other.
+    STANDALONE = "standalone"
+    #: Full Swala: replicated directory + remote fetch + broadcasts.
+    COOPERATIVE = "cooperative"
+
+
+class LockingGranularity(enum.Enum):
+    """Directory-locking choices discussed in §4.2 (table is Swala's pick)."""
+
+    DIRECTORY = "directory"
+    TABLE = "table"
+    ENTRY = "entry"
+
+
+def _default_cacheable(request: Request) -> bool:
+    """Default admin rule: every CGI marked cacheable by the application."""
+    return request.is_cgi and request.cacheable
+
+
+@dataclass
+class SwalaConfig:
+    mode: CacheMode = CacheMode.COOPERATIVE
+    #: Maximum entries in one node's cache (paper uses 2000 and 20).
+    cache_capacity: int = 2000
+    #: Replacement method (see :data:`repro.cache.POLICY_NAMES`).
+    policy: str = "lru"
+    #: Cache only results whose execution took longer than this
+    #: ("a runtime-defined limit", §4.1), seconds.
+    min_exec_time: float = 0.0
+    #: Never cache results larger than this many bytes (keeps one giant
+    #: response from evicting the whole working set); ``inf`` disables.
+    max_entry_size: float = math.inf
+    #: Default Time-To-Live for cached results, seconds (content consistency,
+    #: §4.2).  ``inf`` disables expiry, matching read-mostly digital-library
+    #: content.
+    default_ttl: float = math.inf
+    #: Per-CGI TTL overrides ("a TTL field for different CGIs", §4.2);
+    #: ``None`` means every entry gets ``default_ttl``.  Usually populated
+    #: from the configuration file (:mod:`repro.core.configfile`).
+    ttl_rules: Optional["TtlRules"] = None
+    #: How often the purge daemon wakes ("every few seconds").
+    purge_interval: float = 5.0
+    #: Request threads in the HTTP module's pool.
+    n_threads: int = 32
+    #: Directory locking granularity (§4.2 ablation; TABLE is the paper's).
+    locking: LockingGranularity = LockingGranularity.TABLE
+    #: Admin cacheability rule from the configuration file.
+    cacheable_rule: Callable[[Request], bool] = field(default=_default_cacheable)
+    #: When an identical cacheable request is already executing on this
+    #: node, wait for it and serve from cache instead of re-executing.
+    #: The paper explicitly chose NOT to do this ("the node will redo the
+    #: request, rather than wait for the cached results of the first
+    #: request") because the window is small; this flag enables the
+    #: alternative so the trade-off can be measured.
+    coalesce_duplicates: bool = False
+    #: Give up on a remote fetch after this long and execute locally
+    #: (guards against an unresponsive owner; generous because the paper's
+    #: LAN is reliable and owners always answer eventually).
+    fetch_timeout: float = 30.0
+    #: CGI-output -> source-file dependency rules for the source-monitoring
+    #: invalidator (paper future work, cf. Vahdat & Anderson).  ``None``
+    #: disables the monitor daemon.
+    dependencies: Optional["DependencyRegistry"] = None
+    #: Poll period of the source monitor daemon.
+    source_monitor_interval: float = 2.0
+
+    def __post_init__(self):
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.min_exec_time < 0:
+            raise ValueError(f"negative min_exec_time {self.min_exec_time}")
+        if self.default_ttl <= 0:
+            raise ValueError(f"default_ttl must be positive, got {self.default_ttl}")
+        if self.purge_interval <= 0:
+            raise ValueError(f"purge_interval must be positive")
+        if self.n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.fetch_timeout <= 0:
+            raise ValueError(f"fetch_timeout must be positive")
+        if self.source_monitor_interval <= 0:
+            raise ValueError(f"source_monitor_interval must be positive")
+
+    @property
+    def caching_enabled(self) -> bool:
+        return self.mode is not CacheMode.NONE
+
+    @property
+    def cooperative(self) -> bool:
+        return self.mode is CacheMode.COOPERATIVE
+
+    def is_cacheable(self, request: Request) -> bool:
+        """The cache manager's admissibility test (Fig. 2 first diamond)."""
+        return self.caching_enabled and self.cacheable_rule(request)
+
+    def ttl_for(self, url: str) -> float:
+        """TTL for a new entry: per-CGI rule if one matches, else default."""
+        if self.ttl_rules is not None:
+            return self.ttl_rules.ttl_for(url)
+        return self.default_ttl

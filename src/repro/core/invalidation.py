@@ -1,0 +1,83 @@
+"""Cache invalidation beyond TTLs (the paper's stated future work, §4.2).
+
+Two mechanisms, modelled on the systems the paper cites:
+
+* **Application-initiated invalidation** (Iyengar & Challenger, USITS '97):
+  the application that changed the underlying data sends an
+  ``InvalidateUrl`` message to any cluster node's invalidation port; the
+  node drops its own copy and/or forwards to the owning node, which
+  broadcasts the delete.
+
+* **Source monitoring** (Vahdat & Anderson's *Transparent Result Caching*):
+  the administrator registers which source files each CGI's output depends
+  on; a monitor daemon polls those files' mtimes and invalidates any local
+  entry older than its newest source.
+
+Both integrate with the existing weak-consistency machinery: an
+invalidation is just an eviction plus the usual delete broadcast, so peers
+converge the same way they do for replacement-driven deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "InvalidateUrl",
+    "INVALIDATION_PORT",
+    "INVALIDATE_MSG_BYTES",
+    "DependencyRegistry",
+]
+
+#: Port the invalidation listener daemon binds.
+INVALIDATION_PORT = "cache-invalidate"
+#: Wire size of one invalidation message.
+INVALIDATE_MSG_BYTES = 150
+
+
+@dataclass(frozen=True)
+class InvalidateUrl:
+    """Application message: the result for ``url`` is now stale."""
+
+    url: str
+    sender: str = "app"
+
+
+class DependencyRegistry:
+    """Maps CGI URLs to the source files their output depends on.
+
+    Rules are ``(predicate, source_paths)`` pairs; a URL's dependency set
+    is the union over matching rules.  Registering is an administrator
+    action (like Swala's cacheability config file), so it is plain Python —
+    no simulation cost.
+    """
+
+    def __init__(self):
+        self._rules: List[Tuple[Callable[[str], bool], Tuple[str, ...]]] = []
+
+    def register(self, predicate, sources: Sequence[str]) -> None:
+        """Declare that URLs matching ``predicate`` depend on ``sources``.
+
+        ``predicate`` is a callable ``url -> bool`` or a string prefix.
+        """
+        if isinstance(predicate, str):
+            prefix = predicate
+            predicate = lambda url, _p=prefix: url.startswith(_p)  # noqa: E731
+        if not callable(predicate):
+            raise TypeError(f"predicate must be a str prefix or callable")
+        self._rules.append((predicate, tuple(sources)))
+
+    def sources_for(self, url: str) -> Set[str]:
+        out: Set[str] = set()
+        for predicate, sources in self._rules:
+            if predicate(url):
+                out.update(sources)
+        return out
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return f"<DependencyRegistry rules={len(self._rules)}>"

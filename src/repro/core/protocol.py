@@ -1,0 +1,117 @@
+"""Wire messages of the Swala cluster protocol.
+
+Three conversations exist (paper §4.1):
+
+* **HTTP** — client -> server request, server -> client response;
+* **directory updates** — asynchronous insert/delete broadcasts between
+  cacher modules (the weak inter-node consistency protocol of §4.2);
+* **cache fetch** — a request/reply session that pulls a cached result body
+  from the owning node.
+
+Sizes are on-the-wire byte counts used for NIC serialization; response and
+fetch-reply messages carry the body, so their size is the payload size plus
+a small header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cache import CacheEntry
+from ..workload import Request
+
+__all__ = [
+    "HttpConnection",
+    "HttpResponse",
+    "CacheInsert",
+    "CacheDelete",
+    "FetchRequest",
+    "FetchReply",
+    "HTTP_REQUEST_BYTES",
+    "HTTP_RESPONSE_HEADER_BYTES",
+    "DIRECTORY_UPDATE_BYTES",
+    "FETCH_REQUEST_BYTES",
+    "FETCH_MISS_BYTES",
+    "FETCH_HEADER_BYTES",
+]
+
+#: A GET line + headers.
+HTTP_REQUEST_BYTES = 300
+#: Status line + response headers preceding the body.
+HTTP_RESPONSE_HEADER_BYTES = 200
+#: One replicated-directory insert/delete record.
+DIRECTORY_UPDATE_BYTES = 250
+#: Remote-fetch request (URL + requester identity).
+FETCH_REQUEST_BYTES = 200
+#: Remote-fetch negative reply (the "false hit" answer).
+FETCH_MISS_BYTES = 80
+#: Header preceding a remote-fetch body.
+FETCH_HEADER_BYTES = 120
+
+
+@dataclass
+class HttpConnection:
+    """An accepted client connection, queued for a request thread."""
+
+    request: Request
+    client: str
+    reply_port: str
+    sent_at: float
+
+
+@dataclass
+class HttpResponse:
+    """Server's answer; ``source`` tells how the body was produced."""
+
+    request: Request
+    server: str
+    #: "file" | "exec" | "local-cache" | "remote-cache"
+    source: str
+    ok: bool = True
+    #: Echo of the connection's send time (lets open-loop clients compute
+    #: per-request latency without bookkeeping).
+    sent_at: float = -1.0
+
+    @property
+    def size(self) -> int:
+        return HTTP_RESPONSE_HEADER_BYTES + self.request.response_size
+
+
+@dataclass
+class CacheInsert:
+    """Broadcast when a node adds a cache entry."""
+
+    entry: CacheEntry
+
+
+@dataclass
+class CacheDelete:
+    """Broadcast when a node evicts/expires a cache entry."""
+
+    url: str
+    owner: str
+
+
+@dataclass
+class FetchRequest:
+    """Ask ``owner`` for the body of a cached result.
+
+    ``seq`` correlates the reply with its request so a late reply (after
+    the requester timed out and moved on) is recognized and discarded.
+    """
+
+    url: str
+    requester: str
+    reply_port: str
+    seq: int = 0
+
+
+@dataclass
+class FetchReply:
+    """Owner's answer to a fetch; body rides along when ``hit``."""
+
+    url: str
+    hit: bool
+    size: int = 0
+    seq: int = 0

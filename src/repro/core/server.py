@@ -1,0 +1,163 @@
+"""The Swala server node: HTTP module + Cacher module (paper Figure 1/2).
+
+A :class:`SwalaServer` is a thread-pool web server whose CGI path runs the
+control flow of the paper's Figure 2:
+
+    cacheable? -> cached? -> local/remote fetch, or execute + tee + insert
+    + broadcast.
+
+Caching mode (off / stand-alone / cooperative) comes from the
+:class:`~repro.core.config.SwalaConfig`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, List, Optional
+
+from ..hosts import Machine
+from ..net import Network
+from ..servers.threaded import ThreadPoolServer
+from ..sim import Simulator, Store
+from ..workload import RequestKind
+from .cacher import CacherModule
+from .config import SwalaConfig
+from .protocol import HttpConnection
+
+__all__ = ["SwalaServer"]
+
+_adhoc_ports = itertools.count()
+
+
+class SwalaServer(ThreadPoolServer):
+    """One Swala node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        network: Network,
+        node_names: List[str],
+        config: Optional[SwalaConfig] = None,
+        name: Optional[str] = None,
+    ):
+        self.config = config or SwalaConfig()
+        super().__init__(
+            sim, machine, network, name, n_threads=self.config.n_threads
+        )
+        # Stand-alone nodes are "unaware of any other node" (§5.3): their
+        # directory holds only their own table.
+        directory_nodes = (
+            list(node_names) if self.config.cooperative else [self.name]
+        )
+        if self.name not in directory_nodes:
+            directory_nodes.append(self.name)
+        self.cacher = CacherModule(
+            sim=sim,
+            machine=machine,
+            network=network,
+            name=self.name,
+            node_names=directory_nodes,
+            config=self.config,
+            stats=self.stats,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        if self.config.caching_enabled:
+            self.cacher.start()
+
+    def _request_thread(self, tid: int):
+        # Each request thread owns a private reply mailbox for its remote
+        # fetches (one outstanding fetch per thread, like one socket each).
+        reply_port = f"fetch-reply-rt{tid}"
+        reply_box = self.network.register(self.name, reply_port)
+        while True:
+            msg = yield self.listen_box.get()
+            yield self.machine.dispatch_thread()
+            yield from self.handle(msg.payload, reply_box, reply_port)
+
+    # -- request path (Figure 2) ---------------------------------------------
+    def handle(
+        self,
+        conn: HttpConnection,
+        reply_box: Optional[Store] = None,
+        reply_port: Optional[str] = None,
+    ) -> Generator:
+        request = conn.request
+        yield from self.accept_cost()
+        if request.kind is RequestKind.FILE:
+            yield from self.serve_static(request)
+            source = "file"
+        elif not self.cacher.classify(request):
+            # "An uncacheable request is executed without any more
+            # communication with the cache manager."
+            self.stats.uncacheable += 1
+            yield from self.execute_cgi(request)
+            source = "exec"
+        else:
+            source = yield from self._handle_cacheable(
+                request, reply_box, reply_port
+            )
+        yield from self.send_cpu(request)
+        self.finish(conn, source)
+
+    def _handle_cacheable(self, request, reply_box, reply_port) -> Generator:
+        lookup_started = self.sim.now
+        while True:
+            entry = yield from self.cacher.lookup(request.url)
+
+            if entry is not None and entry.owner == self.name:
+                served = yield from self.cacher.fetch_local(request.url)
+                if served is not None:
+                    self.stats.local_hits += 1
+                    self.stats.hit_times.observe(self.sim.now - lookup_started)
+                    return "local-cache"
+                entry = None  # purged between lookup and fetch: fall to miss
+
+            if entry is not None:
+                # Cached at a peer: request/reply session with its fetch
+                # server.
+                if reply_box is None:
+                    reply_port = f"fetch-reply-adhoc{next(_adhoc_ports)}"
+                    reply_box = self.network.register(self.name, reply_port)
+                reply = yield from self.cacher.fetch_remote(
+                    entry, reply_box, reply_port
+                )
+                if reply.hit:
+                    self.stats.remote_hits += 1
+                    self.stats.hit_times.observe(self.sim.now - lookup_started)
+                    return "remote-cache"
+                # False hit: the owner dropped it; execute locally (Fig. 2).
+                self.stats.false_hits += 1
+
+            # Miss.  With coalescing enabled (an extension the paper chose
+            # against), wait for an in-progress identical execution and
+            # retry the lookup instead of re-running the CGI.
+            if self.config.coalesce_duplicates and self.cacher.in_progress(
+                request.url
+            ):
+                waited = yield from self.cacher.wait_for_execution(request.url)
+                if waited:
+                    self.stats.coalesced += 1
+                    continue
+
+            # Execute the CGI, tee the output, maybe insert + broadcast.
+            # The in-progress marker is held until after the insert so that
+            # coalesced waiters find the entry when they retry.
+            duplicate = self.cacher.execution_starting(request.url)
+            if duplicate:
+                self.stats.false_misses += 1
+            try:
+                yield from self.execute_cgi(request)
+                self.stats.misses += 1
+                if self.cacher.should_cache_result(
+                    request, request.cpu_time, ok=True
+                ):
+                    yield from self.cacher.insert_result(request, request.cpu_time)
+                else:
+                    self.stats.discards += 1
+            finally:
+                self.cacher.execution_finished(request.url)
+            return "exec"

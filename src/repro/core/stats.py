@@ -1,0 +1,171 @@
+"""Per-node and cluster-wide statistics for Swala runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..sim import Tally
+
+__all__ = ["NodeStats", "ClusterStats"]
+
+
+@dataclass
+class NodeStats:
+    """Counters one Swala node maintains."""
+
+    node: str = ""
+    requests: int = 0
+    files_served: int = 0
+    cgi_executed: int = 0
+    #: Cacheable CGI requests answered from this node's own cache.
+    local_hits: int = 0
+    #: Cacheable CGI requests answered from a peer's cache.
+    remote_hits: int = 0
+    #: Cacheable CGI requests that had to execute (cold or false miss).
+    misses: int = 0
+    #: Requests the config ruled out of caching entirely.
+    uncacheable: int = 0
+    inserts: int = 0
+    discards: int = 0  # executed but below min_exec_time (or failed)
+    evictions: int = 0
+    expirations: int = 0
+    #: Remote fetches we issued that came back "gone" (paper's *false hit*).
+    false_hits: int = 0
+    #: Fetch requests we answered with a miss (the other side of the above).
+    false_hits_served: int = 0
+    #: Executions that duplicated concurrent/pre-broadcast work
+    #: (paper's *false miss*, both windows of §4.2).
+    false_misses: int = 0
+    #: Directory update messages applied from peers.
+    updates_applied: int = 0
+    #: Insert broadcasts we received for a URL we also hold (evidence that a
+    #: false miss double-cached an entry).
+    double_cached: int = 0
+    #: Application-initiated invalidation messages handled.
+    invalidations_received: int = 0
+    #: Entries dropped by invalidation (application- or monitor-initiated).
+    invalidated: int = 0
+    #: Hits served from entries whose registered source files had already
+    #: changed (ground-truth staleness accounting; only maintained when a
+    #: dependency registry is configured).
+    stale_hits: int = 0
+    #: Remote fetches abandoned after ``fetch_timeout``.
+    fetch_timeouts: int = 0
+    #: Requests that waited for an in-progress identical execution instead
+    #: of re-running (only with ``coalesce_duplicates``).
+    coalesced: int = 0
+
+    response_times: Tally = field(default_factory=lambda: Tally("response"))
+    hit_times: Tally = field(default_factory=lambda: Tally("hit-time"))
+    exec_times: Tally = field(default_factory=lambda: Tally("exec-time"))
+    #: Response-time tallies broken down by how the body was produced
+    #: ("file" / "exec" / "local-cache" / "remote-cache").
+    source_times: Dict[str, Tally] = field(default_factory=dict)
+
+    def observe_response(self, source: str, elapsed: float) -> None:
+        """Record one completed request (total + per-source tallies)."""
+        self.response_times.observe(elapsed)
+        tally = self.source_times.get(source)
+        if tally is None:
+            tally = self.source_times[source] = Tally(f"response[{source}]")
+        tally.observe(elapsed)
+
+    @property
+    def hits(self) -> int:
+        return self.local_hits + self.remote_hits
+
+    @property
+    def cacheable_requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cacheable_requests
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ClusterStats:
+    """Sum of node stats plus cluster-level derived metrics."""
+
+    nodes: List[NodeStats] = field(default_factory=list)
+
+    @staticmethod
+    def aggregate(node_stats: Iterable[NodeStats]) -> "ClusterStats":
+        return ClusterStats(nodes=list(node_stats))
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(n, attr) for n in self.nodes)
+
+    @property
+    def requests(self) -> int:
+        return self._sum("requests")
+
+    @property
+    def local_hits(self) -> int:
+        return self._sum("local_hits")
+
+    @property
+    def remote_hits(self) -> int:
+        return self._sum("remote_hits")
+
+    @property
+    def hits(self) -> int:
+        return self.local_hits + self.remote_hits
+
+    @property
+    def misses(self) -> int:
+        return self._sum("misses")
+
+    @property
+    def inserts(self) -> int:
+        return self._sum("inserts")
+
+    @property
+    def evictions(self) -> int:
+        return self._sum("evictions")
+
+    @property
+    def false_hits(self) -> int:
+        return self._sum("false_hits")
+
+    @property
+    def false_misses(self) -> int:
+        return self._sum("false_misses")
+
+    @property
+    def double_cached(self) -> int:
+        return self._sum("double_cached")
+
+    @property
+    def invalidated(self) -> int:
+        return self._sum("invalidated")
+
+    @property
+    def stale_hits(self) -> int:
+        return self._sum("stale_hits")
+
+    @property
+    def fetch_timeouts(self) -> int:
+        return self._sum("fetch_timeouts")
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merged_response_times(self) -> Tally:
+        merged = Tally("cluster-response")
+        for n in self.nodes:
+            merged.merge(n.response_times)
+        return merged
+
+    def merged_source_times(self) -> Dict[str, Tally]:
+        merged: Dict[str, Tally] = {}
+        for node in self.nodes:
+            for source, tally in node.source_times.items():
+                if source not in merged:
+                    merged[source] = Tally(f"cluster-response[{source}]")
+                merged[source].merge(tally)
+        return merged

@@ -1,0 +1,112 @@
+"""Ablation: request routing x caching mode.
+
+The paper pins client threads to nodes; real deployments put a dispatcher
+in front.  This study crosses the four routing policies with stand-alone
+vs cooperative caching.  The interesting cell is ``url_hash`` +
+stand-alone: cache-affinity routing recovers most of cooperative caching's
+hit ratio *without* any inter-node protocol — the observation that later
+became LARD — while cooperative caching is routing-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..clients import ClientFleet
+from ..core import CacheMode, SwalaCluster, SwalaConfig
+from ..hosts import Machine, MachineCosts
+from ..lb import BALANCER_POLICIES, LoadBalancer
+from ..metrics import render_table
+from ..sim import Simulator
+from ..workload import Trace, zipf_cgi_trace
+
+__all__ = ["BalancerRow", "run_balancer_study", "render_balancer_study"]
+
+
+@dataclass(frozen=True)
+class BalancerRow:
+    policy: str
+    mode: str
+    mean_response_time: float
+    hits: int
+    local_hits: int
+    remote_hits: int
+    hit_ratio: float
+    backend_spread: float  # max/min requests per backend (1.0 = perfectly even)
+
+
+def run_balancer_study(
+    policies: Sequence[str] = BALANCER_POLICIES,
+    modes: Sequence[CacheMode] = (CacheMode.STANDALONE, CacheMode.COOPERATIVE),
+    n_nodes: int = 4,
+    n_requests: int = 1_200,
+    n_distinct: int = 200,
+    seed: int = 0,
+    costs: Optional[MachineCosts] = None,
+) -> List[BalancerRow]:
+    trace = zipf_cgi_trace(
+        n_requests, n_distinct, zipf=0.9, cpu_time_mean=0.4, seed=seed
+    )
+    rows = []
+    for policy in policies:
+        for mode in modes:
+            rows.append(
+                _run_one(policy, mode, n_nodes, trace, costs)
+            )
+    return rows
+
+
+def _run_one(policy: str, mode: CacheMode, n_nodes: int, trace: Trace,
+             costs: Optional[MachineCosts]) -> BalancerRow:
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode), costs=costs)
+    cluster.start()
+    lb_machine = Machine(sim, "lb", costs)
+    balancer = LoadBalancer(
+        sim, lb_machine, cluster.network, cluster.node_names, policy=policy
+    )
+    balancer.start()
+    if policy == "least_loaded":
+        balancer.attach_heartbeats(cluster.servers)
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=["lb"], n_threads=16, n_hosts=2
+    )
+    times = fleet.run()
+    stats = cluster.stats()
+    counts = [balancer.per_backend[b] for b in balancer.backends]
+    spread = max(counts) / max(1, min(counts))
+    return BalancerRow(
+        policy=policy,
+        mode=mode.value,
+        mean_response_time=times.mean,
+        hits=stats.hits,
+        local_hits=stats.local_hits,
+        remote_hits=stats.remote_hits,
+        hit_ratio=stats.hit_ratio,
+        backend_spread=spread,
+    )
+
+
+def render_balancer_study(rows: List[BalancerRow]) -> str:
+    return render_table(
+        "Ablation: routing policy x caching mode",
+        ["policy", "mode", "mean rt (s)", "hits", "local", "remote",
+         "hit ratio", "spread"],
+        [
+            (
+                r.policy,
+                r.mode,
+                r.mean_response_time,
+                r.hits,
+                r.local_hits,
+                r.remote_hits,
+                f"{r.hit_ratio:.1%}",
+                r.backend_spread,
+            )
+            for r in rows
+        ],
+        note="url_hash gives stand-alone caches cooperative-level hit "
+        "ratios with zero remote fetches (cache-affinity routing); "
+        "cooperative caching works under any routing",
+    )

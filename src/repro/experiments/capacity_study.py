@@ -1,0 +1,94 @@
+"""Study: sustainable throughput (capacity) with and without caching.
+
+The paper measures response time under a fixed closed-loop population;
+an operator's question is the dual: *how much offered load can the
+cluster absorb before melting?*  This study feeds the cluster an
+open-loop Poisson arrival stream at increasing rates and watches the
+response time.  Cooperative caching converts most CGI executions into
+cache fetches, moving the saturation knee far to the right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..clients import OpenLoopSource, poisson_timed_trace
+from ..core import CacheMode, SwalaCluster, SwalaConfig
+from ..hosts import MachineCosts
+from ..metrics import render_table
+from ..sim import Simulator
+from ..workload import zipf_cgi_trace
+
+__all__ = ["CapacityRow", "run_capacity_study", "render_capacity_study"]
+
+
+@dataclass(frozen=True)
+class CapacityRow:
+    arrival_rate: float
+    mode: str
+    mean_rt: float
+    p95_rt: float
+    hit_ratio: float
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: queueing has clearly blown past service times."""
+        return self.mean_rt > 5.0
+
+
+def _run_one(rate: float, mode: CacheMode, n_nodes: int, n_requests: int,
+             n_distinct: int, seed: int, costs: Optional[MachineCosts]):
+    trace = zipf_cgi_trace(
+        n_requests, n_distinct, zipf=1.0, cpu_time_mean=0.2, seed=seed
+    )
+    stamped = poisson_timed_trace(trace, rate=rate, seed=seed + 1)
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode), costs=costs)
+    cluster.start()
+    source = OpenLoopSource(
+        sim, cluster.network, "frontdoor", cluster.node_names, stamped
+    )
+    sim.run(until=source.start())
+    stats = cluster.stats()
+    return CapacityRow(
+        arrival_rate=rate,
+        mode=mode.value,
+        mean_rt=source.response_times.mean,
+        p95_rt=source.response_times.percentile(95),
+        hit_ratio=stats.hit_ratio,
+    )
+
+
+def run_capacity_study(
+    rates: Sequence[float] = (4.0, 8.0, 12.0, 16.0, 24.0),
+    n_nodes: int = 2,
+    n_requests: int = 500,
+    n_distinct: int = 60,
+    seed: int = 0,
+    costs: Optional[MachineCosts] = None,
+) -> List[CapacityRow]:
+    rows = []
+    for rate in rates:
+        for mode in (CacheMode.NONE, CacheMode.COOPERATIVE):
+            rows.append(
+                _run_one(rate, mode, n_nodes, n_requests, n_distinct, seed,
+                         costs)
+            )
+    return rows
+
+
+def render_capacity_study(rows: List[CapacityRow]) -> str:
+    return render_table(
+        "Study: open-loop capacity, caching off vs on",
+        ["arrivals/s", "mode", "mean rt (s)", "p95 rt (s)", "hit ratio",
+         "saturated"],
+        [
+            (r.arrival_rate, r.mode, r.mean_rt, r.p95_rt,
+             f"{r.hit_ratio:.0%}", r.saturated)
+            for r in rows
+        ],
+        note="caching moves the saturation knee to a much higher offered "
+        "load — the operator-facing dual of the paper's response-time "
+        "results",
+    )

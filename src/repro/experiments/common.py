@@ -1,0 +1,98 @@
+"""Shared helpers for the per-table/figure experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..clients import ClientFleet, ClientThread
+from ..core import CacheMode, SwalaCluster, SwalaConfig, SwalaServer
+from ..hosts import Machine, MachineCosts
+from ..net import Network
+from ..sim import Simulator, Tally
+from ..workload import Trace
+
+__all__ = [
+    "single_swala",
+    "run_single_server_fleet",
+    "run_cluster_trace",
+    "warm_cluster",
+]
+
+
+def single_swala(
+    sim: Simulator,
+    config: SwalaConfig,
+    costs: Optional[MachineCosts] = None,
+    name: str = "srv",
+) -> Tuple[SwalaServer, Network]:
+    """One Swala node on a fresh LAN."""
+    network = Network(sim)
+    machine = Machine(sim, name, costs)
+    server = SwalaServer(sim, machine, network, [name], config, name=name)
+    return server, network
+
+
+def run_single_server_fleet(
+    make_server: Callable[[Simulator, Network, Machine], object],
+    trace: Trace,
+    n_threads: int,
+    n_hosts: int = 3,
+    costs: Optional[MachineCosts] = None,
+) -> Tuple[Tally, object]:
+    """Build one server of any kind, run a closed-loop fleet against it.
+
+    ``make_server`` receives ``(sim, network, machine)`` and returns a
+    started-able server named/located at machine.name.
+    """
+    sim = Simulator()
+    network = Network(sim)
+    machine = Machine(sim, "srv", costs)
+    server = make_server(sim, network, machine)
+    server.install_files(trace)
+    server.start()
+    fleet = ClientFleet(
+        sim, network, trace, servers=["srv"], n_threads=n_threads, n_hosts=n_hosts
+    )
+    times = fleet.run()
+    return times, server
+
+
+def run_cluster_trace(
+    n_nodes: int,
+    mode: CacheMode,
+    trace: Trace,
+    n_threads: int = 16,
+    n_hosts: int = 2,
+    config_kw: Optional[dict] = None,
+    costs: Optional[MachineCosts] = None,
+) -> Tuple[Tally, SwalaCluster]:
+    """Run ``trace`` against an ``n_nodes`` cluster in the given mode.
+
+    Client threads are dealt round-robin over nodes, each pinned to one
+    node (the paper's client arrangement).
+    """
+    sim = Simulator()
+    config = SwalaConfig(mode=mode, **(config_kw or {}))
+    cluster = SwalaCluster(sim, n_nodes, config, costs=costs)
+    cluster.install_files(trace)
+    cluster.start()
+    fleet = ClientFleet(
+        sim,
+        cluster.network,
+        trace,
+        servers=cluster.node_names,
+        n_threads=n_threads,
+        n_hosts=n_hosts,
+    )
+    times = fleet.run()
+    return times, cluster
+
+
+def warm_cluster(cluster: SwalaCluster, trace: Trace, node: str) -> None:
+    """Replay ``trace`` once against ``node`` to populate its cache, then
+    let the broadcasts settle."""
+    sim = cluster.sim
+    warmer = ClientThread(
+        sim, cluster.network, "warmer", node, list(trace), name="warmer"
+    )
+    sim.run(until=warmer.start())

@@ -1,0 +1,121 @@
+"""Study: heterogeneous node speeds in a cooperative cluster.
+
+The paper's testbed had six Ultra 1s and two dual-CPU Ultra 2s, but used
+"only one CPU on the Ultra 2 nodes during the tests ... thus, the CPU
+power is roughly equivalent on all nodes".  This study runs the
+counterfactuals:
+
+* ``uniform``    — the paper's pinned configuration (baseline);
+* ``two-fast``   — the Ultra 2s un-pinned (two nodes with 2 CPUs);
+* ``straggler``  — one node at half speed (e.g. a background job): remote
+  fetches *to* the straggler are slow, so cooperation spreads its pain —
+  the flip side of sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import CacheMode
+from ..hosts import SUN_ULTRA1, MachineCosts
+from ..metrics import render_table
+from ..workload import zipf_cgi_trace
+
+__all__ = [
+    "HeterogeneityRow",
+    "run_heterogeneity_study",
+    "render_heterogeneity_study",
+    "HETEROGENEITY_CONFIGS",
+]
+
+HETEROGENEITY_CONFIGS = ("uniform", "two-fast", "straggler")
+
+
+def _slow_profile(factor: float) -> MachineCosts:
+    """A machine ``factor``x slower than the baseline (all CPU work,
+    including CGI script bodies)."""
+    return SUN_ULTRA1.with_(cpu_slowdown=factor)
+
+
+def _node_costs(config: str, n_nodes: int) -> List[Optional[MachineCosts]]:
+    if config == "uniform":
+        return [None] * n_nodes
+    if config == "two-fast":
+        fast = SUN_ULTRA1.with_(ncpus=2)
+        return [fast, fast] + [None] * (n_nodes - 2)
+    if config == "straggler":
+        return [_slow_profile(2.0)] + [None] * (n_nodes - 1)
+    raise ValueError(f"unknown config {config!r}")
+
+
+@dataclass(frozen=True)
+class HeterogeneityRow:
+    config: str
+    mode: str
+    mean_rt: float
+    p95_rt: float
+    hits: int
+    remote_hits: int
+
+
+def run_heterogeneity_study(
+    configs: Sequence[str] = HETEROGENEITY_CONFIGS,
+    n_nodes: int = 4,
+    n_requests: int = 800,
+    n_distinct: int = 120,
+    seed: int = 0,
+) -> List[HeterogeneityRow]:
+    """Note: CGI *script bodies* take the same CPU-seconds everywhere; the
+    straggler's handicap applies to the server-side costs, and its single
+    CPU is shared by everything it runs — which is what matters under
+    load.  The ``two-fast`` case simply has double capacity on two nodes."""
+    from ..clients import ClientFleet
+    from ..core import SwalaCluster, SwalaConfig
+    from ..sim import Simulator
+
+    trace = zipf_cgi_trace(
+        n_requests, n_distinct, zipf=0.9, cpu_time_mean=0.4, seed=seed
+    )
+    rows: List[HeterogeneityRow] = []
+    for config in configs:
+        if config not in HETEROGENEITY_CONFIGS:
+            raise ValueError(f"unknown config {config!r}")
+        for mode in (CacheMode.STANDALONE, CacheMode.COOPERATIVE):
+            sim = Simulator()
+            cluster = SwalaCluster(
+                sim, n_nodes, SwalaConfig(mode=mode),
+                costs_per_node=_node_costs(config, n_nodes),
+            )
+            cluster.start()
+            fleet = ClientFleet(
+                sim, cluster.network, trace, servers=cluster.node_names,
+                n_threads=16, n_hosts=2,
+            )
+            times = fleet.run()
+            stats = cluster.stats()
+            rows.append(
+                HeterogeneityRow(
+                    config=config,
+                    mode=mode.value,
+                    mean_rt=times.mean,
+                    p95_rt=times.percentile(95),
+                    hits=stats.hits,
+                    remote_hits=stats.remote_hits,
+                )
+            )
+    return rows
+
+
+def render_heterogeneity_study(rows: List[HeterogeneityRow]) -> str:
+    return render_table(
+        "Study: heterogeneous node speeds (4 nodes)",
+        ["config", "mode", "mean rt (s)", "p95 rt (s)", "hits", "remote hits"],
+        [
+            (r.config, r.mode, r.mean_rt, r.p95_rt, r.hits, r.remote_hits)
+            for r in rows
+        ],
+        note="the paper pinned its dual-CPU nodes to one CPU for uniformity; "
+        "un-pinning helps, a straggler hurts — and cooperation couples nodes "
+        "to each other's speed via remote fetches",
+    )

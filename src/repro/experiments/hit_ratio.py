@@ -1,0 +1,117 @@
+"""Tables 5 & 6 — stand-alone vs. cooperative cache hit ratios (§5.3).
+
+1,600 requests (1,122 unique) are issued to clusters of 1..8 nodes, with
+each node caching in stand-alone or cooperative mode.  The theoretical hit
+upper bound is 478 (every repeat).  Table 5 uses per-node cache size 2000
+(everything fits: cooperative wins purely by sharing), Table 6 size 20
+(severe overflow: cooperative also wins by aggregating capacity).
+
+Paper shape: cooperative is near-optimal at size 2000 (97.5–99.4% of the
+bound) while stand-alone degrades as nodes are added; at size 20
+cooperative *rises* with node count (28.7% → 73.6%) while stand-alone
+stays below ~40%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import CacheMode
+from ..hosts import MachineCosts
+from ..metrics import HitRatioSummary, hit_ratio_summary, render_table
+from ..workload import Trace, hit_ratio_trace
+from .common import run_cluster_trace
+
+__all__ = [
+    "HitRatioRow",
+    "run_hit_ratio_experiment",
+    "run_table5",
+    "run_table6",
+    "render_hit_ratio_table",
+]
+
+
+@dataclass(frozen=True)
+class HitRatioRow:
+    nodes: int
+    standalone: Optional[HitRatioSummary]  # None for 1 node in Table 5 (N/A)
+    cooperative: HitRatioSummary
+
+
+def run_hit_ratio_experiment(
+    cache_size: int,
+    node_counts: Sequence[int] = (1, 2, 4, 6, 8),
+    total: int = 1_600,
+    unique: int = 1_122,
+    seed: int = 0,
+    policy: str = "lru",
+    n_threads: int = 16,
+    costs: Optional[MachineCosts] = None,
+) -> List[HitRatioRow]:
+    trace = hit_ratio_trace(total=total, unique=unique, seed=seed)
+    rows = []
+    for n in node_counts:
+        config_kw = dict(cache_capacity=cache_size, policy=policy)
+        _, sa_cluster = run_cluster_trace(
+            n, CacheMode.STANDALONE, trace, n_threads, config_kw=config_kw,
+            costs=costs,
+        )
+        _, co_cluster = run_cluster_trace(
+            n, CacheMode.COOPERATIVE, trace, n_threads, config_kw=config_kw,
+            costs=costs,
+        )
+        rows.append(
+            HitRatioRow(
+                nodes=n,
+                standalone=hit_ratio_summary(sa_cluster.stats(), trace, n),
+                cooperative=hit_ratio_summary(co_cluster.stats(), trace, n),
+            )
+        )
+    return rows
+
+
+def run_table5(**kw) -> List[HitRatioRow]:
+    """Cache size 2000: every node could hold the whole working set."""
+    return run_hit_ratio_experiment(cache_size=2_000, **kw)
+
+
+def run_table6(**kw) -> List[HitRatioRow]:
+    """Cache size 20: severe overflow and continual replacement."""
+    return run_hit_ratio_experiment(cache_size=20, **kw)
+
+
+def render_hit_ratio_table(rows: List[HitRatioRow], cache_size: int) -> str:
+    bound = rows[0].cooperative.upper_bound
+    table_no = 5 if cache_size >= 1000 else 6
+    return render_table(
+        f"Table {table_no}: cache hits vs upper bound ({bound}), "
+        f"cache size {cache_size}",
+        [
+            "# nodes",
+            "standalone hits",
+            "coop hits",
+            "standalone %",
+            "coop %",
+            "coop remote hits",
+            "false misses",
+        ],
+        [
+            (
+                r.nodes,
+                r.standalone.hits if r.standalone else "N/A",
+                r.cooperative.hits,
+                (
+                    f"{r.standalone.percent_of_upper_bound:.1f}%"
+                    if r.standalone
+                    else "N/A"
+                ),
+                f"{r.cooperative.percent_of_upper_bound:.1f}%",
+                r.cooperative.remote_hits,
+                r.cooperative.false_misses,
+            )
+            for r in rows
+        ],
+        note="paper (size 2000): coop 97.5-99.4%, standalone degrades with "
+        "nodes; (size 20): coop 28.7->73.6% rising with nodes, standalone <40%",
+    )

@@ -1,0 +1,144 @@
+"""Study: proxy caching vs. server-side dynamic-content caching (paper §1–2).
+
+The paper's positioning argument: for file fetches *the network* is the
+bottleneck, so caching belongs near the client (proxies); for dynamic
+requests *the server CPU* is the bottleneck, so caching belongs in the
+server (Swala).  This study builds the full topology —
+
+    clients ──fast LAN── proxy ──slow WAN── origin (Swala node)
+
+— and measures per-class response times under five configurations:
+
+* ``direct``        — no proxy, no server cache (baseline);
+* ``proxy``         — proxy caching files only (the realistic proxy);
+* ``proxy+dynamic`` — proxy also caching shareable CGI output naively;
+* ``swala``         — no proxy, server-side CGI-result caching;
+* ``proxy+swala``   — both (each attacks its own bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clients import ClientFleet
+from ..core import CacheMode, SwalaConfig, SwalaServer
+from ..hosts import Machine, MachineCosts
+from ..metrics import render_table
+from ..sim import Tally
+from ..net import Network
+from ..proxy import ProxyCache
+from ..sim import Simulator
+from ..workload import PAPER_ADL, RequestKind, Trace, generate_adl_trace
+
+__all__ = ["ProxyStudyRow", "run_proxy_study", "render_proxy_study",
+           "PROXY_CONFIGS"]
+
+PROXY_CONFIGS = ("direct", "proxy", "proxy+dynamic", "swala", "proxy+swala")
+
+#: WAN toward the origin: T1/early-cable territory.
+WAN_LATENCY = 0.040
+WAN_BANDWIDTH = 1.5e6 / 8
+
+
+@dataclass(frozen=True)
+class ProxyStudyRow:
+    config: str
+    mean_rt: float
+    file_rt: float
+    cgi_rt: float
+    proxy_hits: int
+    server_hits: int
+
+
+def _class_means(fleet: ClientFleet) -> Tuple[float, float]:
+    file_t, cgi_t = Tally("file"), Tally("cgi")
+    for thread in fleet.threads:
+        for response, elapsed in zip(thread.responses,
+                                     thread.response_times.samples):
+            if response.request.kind is RequestKind.FILE:
+                file_t.observe(elapsed)
+            else:
+                cgi_t.observe(elapsed)
+    return file_t.mean, cgi_t.mean
+
+
+def _run_config(
+    config: str, trace: Trace, n_threads: int, costs: Optional[MachineCosts]
+) -> ProxyStudyRow:
+    sim = Simulator()
+    wan = Network(sim, latency=WAN_LATENCY, bandwidth=WAN_BANDWIDTH, name="wan")
+    lan = Network(sim, name="lan")
+
+    server_mode = (
+        CacheMode.STANDALONE if config in ("swala", "proxy+swala")
+        else CacheMode.NONE
+    )
+    origin_machine = Machine(sim, "origin", costs)
+    origin = SwalaServer(
+        sim, origin_machine, wan, ["origin"],
+        SwalaConfig(mode=server_mode), name="origin",
+    )
+    origin.install_files(trace)
+    origin.start()
+
+    use_proxy = config.startswith("proxy")
+    if use_proxy:
+        proxy = ProxyCache(
+            sim,
+            Machine(sim, "proxy", costs),
+            lan=lan,
+            wan=wan,
+            origin="origin",
+            cache_dynamic=(config == "proxy+dynamic"),
+        )
+        proxy.start()
+        fleet = ClientFleet(
+            sim, lan, trace, servers=["proxy"], n_threads=n_threads, n_hosts=2
+        )
+    else:
+        proxy = None
+        fleet = ClientFleet(
+            sim, wan, trace, servers=["origin"], n_threads=n_threads, n_hosts=2
+        )
+
+    times = fleet.run()
+    file_rt, cgi_rt = _class_means(fleet)
+    return ProxyStudyRow(
+        config=config,
+        mean_rt=times.mean,
+        file_rt=file_rt,
+        cgi_rt=cgi_rt,
+        proxy_hits=proxy.stats.local_hits if proxy else 0,
+        server_hits=origin.stats.hits,
+    )
+
+
+def run_proxy_study(
+    configs: Sequence[str] = PROXY_CONFIGS,
+    scale: float = 0.01,
+    seed: int = 0,
+    n_threads: int = 8,
+    costs: Optional[MachineCosts] = None,
+) -> List[ProxyStudyRow]:
+    """Run the topology study on a scaled ADL mix (files + CGI)."""
+    unknown = set(configs) - set(PROXY_CONFIGS)
+    if unknown:
+        raise ValueError(f"unknown configs {sorted(unknown)}")
+    trace = generate_adl_trace(PAPER_ADL.scaled(scale), seed=seed)
+    return [_run_config(c, trace, n_threads, costs) for c in configs]
+
+
+def render_proxy_study(rows: List[ProxyStudyRow]) -> str:
+    return render_table(
+        "Study: proxy caching vs server-side CGI-result caching",
+        ["config", "mean rt (s)", "file rt (s)", "CGI rt (s)",
+         "proxy hits", "server hits"],
+        [
+            (r.config, r.mean_rt, r.file_rt, r.cgi_rt, r.proxy_hits,
+             r.server_hits)
+            for r in rows
+        ],
+        note="paper §1-2: proxies fix the network (file) bottleneck, "
+        "server-side caching fixes the CPU (CGI) bottleneck; they compose",
+    )

@@ -1,0 +1,72 @@
+"""Table 2 — WebStone file-fetch response time vs. number of clients.
+
+Paper shape: Swala is 2–7x faster than NCSA HTTPd; Netscape Enterprise is
+slightly faster than Swala at few clients and slightly slower at many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import CacheMode, SwalaConfig, SwalaServer
+from ..hosts import MachineCosts
+from ..metrics import render_table
+from ..servers import EnterpriseServer, NcsaHttpd
+from ..workload import webstone_file_trace
+from .common import run_single_server_fleet
+
+__all__ = ["Table2Row", "run_table2", "render_table2", "DEFAULT_CLIENT_COUNTS"]
+
+DEFAULT_CLIENT_COUNTS = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    clients: int
+    httpd: float
+    enterprise: float
+    swala: float
+
+    @property
+    def httpd_over_swala(self) -> float:
+        return self.httpd / self.swala
+
+
+def _swala_factory(sim, network, machine):
+    return SwalaServer(
+        sim, machine, network, [machine.name],
+        SwalaConfig(mode=CacheMode.NONE), name=machine.name,
+    )
+
+
+def run_table2(
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    requests_per_client: int = 30,
+    seed: int = 0,
+    costs: Optional[MachineCosts] = None,
+) -> List[Table2Row]:
+    rows = []
+    for n in client_counts:
+        trace = webstone_file_trace(n * requests_per_client, seed=seed)
+        httpd, _ = run_single_server_fleet(
+            lambda s, net, m: NcsaHttpd(s, m, net), trace, n, costs=costs
+        )
+        ent, _ = run_single_server_fleet(
+            lambda s, net, m: EnterpriseServer(s, m, net), trace, n, costs=costs
+        )
+        swala, _ = run_single_server_fleet(_swala_factory, trace, n, costs=costs)
+        rows.append(
+            Table2Row(clients=n, httpd=httpd.mean, enterprise=ent.mean, swala=swala.mean)
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    return render_table(
+        "Table 2: WebStone file-fetch average response time (s)",
+        ["# clients", "HTTPd", "Enterprise", "Swala", "HTTPd/Swala"],
+        [(r.clients, r.httpd, r.enterprise, r.swala, r.httpd_over_swala) for r in rows],
+        note="paper: Swala 2-7x faster than HTTPd; Enterprise faster at few "
+        "clients, slower at many",
+    )

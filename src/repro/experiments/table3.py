@@ -1,0 +1,74 @@
+"""Table 3 — response-time overhead of insertion + broadcast (§5.2).
+
+180 unique, cacheable, 1-second requests are sent to one node of a 2..8
+node cluster: every request misses, inserts, and broadcasts.  The paper
+finds the increase over non-caching mode insignificant and independent of
+the node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..clients import ClientThread
+from ..core import CacheMode, SwalaCluster, SwalaConfig
+from ..hosts import MachineCosts
+from ..metrics import render_table
+from ..sim import Simulator
+from ..workload import unique_cgi_trace
+
+__all__ = ["Table3Row", "run_table3", "render_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    nodes: int
+    no_cache: float
+    coop_cache: float
+
+    @property
+    def increase(self) -> float:
+        return self.coop_cache - self.no_cache
+
+
+def _run_one(n_nodes: int, mode: CacheMode, n_requests: int, cpu_time: float,
+             costs: Optional[MachineCosts]) -> float:
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode), costs=costs)
+    cluster.start()
+    trace = unique_cgi_trace(n_requests, cpu_time=cpu_time)
+    client = ClientThread(
+        sim, cluster.network, "client0", cluster.node_names[0], list(trace)
+    )
+    sim.run(until=client.start())
+    return client.response_times.mean
+
+
+def run_table3(
+    node_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    n_requests: int = 180,
+    cpu_time: float = 1.0,
+    costs: Optional[MachineCosts] = None,
+) -> List[Table3Row]:
+    rows = []
+    for n in node_counts:
+        rows.append(
+            Table3Row(
+                nodes=n,
+                no_cache=_run_one(n, CacheMode.NONE, n_requests, cpu_time, costs),
+                coop_cache=_run_one(
+                    n, CacheMode.COOPERATIVE, n_requests, cpu_time, costs
+                ),
+            )
+        )
+    return rows
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    return render_table(
+        "Table 3: response-time overhead of insertion + broadcast",
+        ["# nodes", "no cache (s)", "coop cache (s)", "increase (s)"],
+        [(r.nodes, r.no_cache, r.coop_cache, r.increase) for r in rows],
+        note="paper: increase insignificant and independent of node count",
+    )

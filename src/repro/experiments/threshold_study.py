@@ -1,0 +1,165 @@
+"""Ablation: the execution-time caching threshold and cache-size trade-off.
+
+Paper §3: "If we cache too many short requests, we risk having a working
+set that exceeds our cache size, resulting in thrashing and no performance
+improvement.  On the other hand, if we cache only very long requests, we
+will not realize as much of the benefit of caching.  The threshold needs
+to be selected carefully, based on the system workload."
+
+Two sweeps make that concrete:
+
+* ``run_threshold_study`` — sweep ``min_exec_time`` with a small cache and
+  a mixed short/long workload; report hits, evictions (thrashing), and the
+  execution time actually avoided;
+* ``run_cache_size_study`` — sweep the per-node cache size at a fixed
+  threshold (the Table 5 <-> Table 6 axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import CacheMode
+from ..hosts import MachineCosts
+from ..metrics import render_table
+from ..workload import PAPER_ADL, Trace, generate_adl_trace
+from .common import run_cluster_trace
+
+__all__ = [
+    "ThresholdStudyRow",
+    "run_threshold_study",
+    "render_threshold_study",
+    "CacheSizeRow",
+    "run_cache_size_study",
+    "render_cache_size_study",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdStudyRow:
+    min_exec_time: float
+    hits: int
+    inserts: int
+    evictions: int
+    discards: int
+    exec_time_avoided: float
+    mean_response_time: float
+
+
+def _adl_cgi(scale: float, seed: int) -> Trace:
+    return generate_adl_trace(PAPER_ADL.scaled(scale), seed=seed).cgi_only()
+
+
+def run_threshold_study(
+    thresholds: Sequence[float] = (0.0, 0.1, 0.5, 1.0, 2.0, 5.0),
+    cache_size: int = 30,
+    n_nodes: int = 2,
+    scale: float = 0.02,
+    seed: int = 0,
+    costs: Optional[MachineCosts] = None,
+) -> List[ThresholdStudyRow]:
+    trace = _adl_cgi(scale, seed)
+    rows = []
+    for threshold in thresholds:
+        times, cluster = run_cluster_trace(
+            n_nodes,
+            CacheMode.COOPERATIVE,
+            trace,
+            config_kw=dict(cache_capacity=cache_size, min_exec_time=threshold),
+            costs=costs,
+        )
+        stats = cluster.stats()
+        executed = sum(node.exec_times.total for node in stats.nodes)
+        rows.append(
+            ThresholdStudyRow(
+                min_exec_time=threshold,
+                hits=stats.hits,
+                inserts=stats.inserts,
+                evictions=stats.evictions,
+                discards=sum(node.discards for node in stats.nodes),
+                exec_time_avoided=trace.total_service_time() - executed,
+                mean_response_time=times.mean,
+            )
+        )
+    return rows
+
+
+def render_threshold_study(rows: List[ThresholdStudyRow]) -> str:
+    return render_table(
+        "Ablation: execution-time caching threshold (small cache)",
+        ["threshold (s)", "hits", "inserts", "evictions", "discards",
+         "exec time avoided (s)", "mean rt (s)"],
+        [
+            (
+                r.min_exec_time,
+                r.hits,
+                r.inserts,
+                r.evictions,
+                r.discards,
+                r.exec_time_avoided,
+                r.mean_response_time,
+            )
+            for r in rows
+        ],
+        note="paper §3: too low a threshold floods a small cache "
+        "(evictions explode), too high forfeits savings — pick by workload",
+    )
+
+
+@dataclass(frozen=True)
+class CacheSizeRow:
+    cache_size: int
+    hits: int
+    percent_of_bound: float
+    evictions: int
+    mean_response_time: float
+
+
+def run_cache_size_study(
+    sizes: Sequence[int] = (5, 10, 20, 50, 100, 200, 500),
+    n_nodes: int = 4,
+    scale: float = 0.02,
+    seed: int = 0,
+    costs: Optional[MachineCosts] = None,
+) -> List[CacheSizeRow]:
+    trace = _adl_cgi(scale, seed)
+    bound = trace.max_possible_hits()
+    rows = []
+    for size in sizes:
+        times, cluster = run_cluster_trace(
+            n_nodes,
+            CacheMode.COOPERATIVE,
+            trace,
+            config_kw=dict(cache_capacity=size),
+            costs=costs,
+        )
+        stats = cluster.stats()
+        rows.append(
+            CacheSizeRow(
+                cache_size=size,
+                hits=stats.hits,
+                percent_of_bound=100.0 * stats.hits / bound if bound else 0.0,
+                evictions=stats.evictions,
+                mean_response_time=times.mean,
+            )
+        )
+    return rows
+
+
+def render_cache_size_study(rows: List[CacheSizeRow]) -> str:
+    return render_table(
+        "Ablation: per-node cache size (cooperative)",
+        ["cache size", "hits", "% of bound", "evictions", "mean rt (s)"],
+        [
+            (
+                r.cache_size,
+                r.hits,
+                f"{r.percent_of_bound:.1f}%",
+                r.evictions,
+                r.mean_response_time,
+            )
+            for r in rows
+        ],
+        note="the Table 5 (fits) <-> Table 6 (thrashes) axis, swept",
+    )

@@ -1,0 +1,16 @@
+"""Workstation model: CPU bank, OS cost constants, disk, buffer-cached FS."""
+
+from .costs import SUN_ULTRA1, DiskParams, MachineCosts
+from .disk import Disk
+from .filesystem import FileNotFound, FileSystem
+from .machine import Machine
+
+__all__ = [
+    "MachineCosts",
+    "DiskParams",
+    "SUN_ULTRA1",
+    "Disk",
+    "FileSystem",
+    "FileNotFound",
+    "Machine",
+]

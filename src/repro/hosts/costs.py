@@ -1,0 +1,111 @@
+"""Calibrated service-time constants for the simulated workstations.
+
+Every constant is tied to a statistic reported in the paper (HPDC '98 §3,
+§5) or to well-known mid-1990s UNIX magnitudes.  The defaults model a
+~143 MHz Sun Ultra 1 running Solaris:
+
+* average *file fetch* response time on the lightly loaded ADL server was
+  **0.03 s** -> accept + parse + open + buffer-cache read of a few KB plus a
+  disk access for cold files lands in that range;
+* average *CGI* response time was **1.6 s**, "two orders of magnitude"
+  above a file fetch, dominated by the script body, not the fork;
+* the null-CGI experiment shows fork+exec of a trivial CGI costs on the
+  order of **tens of milliseconds** of CPU, an order of magnitude above a
+  cache fetch, which is why caching pays off even for shortish CGIs;
+* remote-fetch minus local-fetch is a small, roughly constant network
+  round-trip + copy cost (paper: ~0.09 s under a 24-client overload, i.e.
+  ~4 ms of actual per-request work).
+
+Experiments must take costs from here (or an explicit override) — never
+hard-code times — so the calibration is auditable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["MachineCosts", "DiskParams", "SUN_ULTRA1"]
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Seek-dominated mid-90s SCSI disk."""
+
+    #: Average positioning time (seek + rotational latency), seconds.
+    access_time: float = 0.008
+    #: Sustained transfer rate, bytes/second (~8 MB/s).
+    transfer_rate: float = 8e6
+    #: Filesystem block size, bytes.
+    block_size: int = 8192
+
+    def read_time(self, nbytes: int) -> float:
+        """Service time for one contiguous read of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.access_time + nbytes / self.transfer_rate
+
+
+@dataclass(frozen=True)
+class MachineCosts:
+    """CPU-time constants (seconds of CPU demand, not wall time)."""
+
+    #: Number of processors on the machine.
+    ncpus: int = 1
+    #: Uniform CPU speed handicap: every CPU demand (including CGI script
+    #: bodies) is multiplied by this.  2.0 models a machine half as fast as
+    #: the reference Ultra 1; 0.5 one twice as fast.
+    cpu_slowdown: float = 1.0
+
+    #: Accept a TCP connection and parse an HTTP request line + headers.
+    accept_parse_cpu: float = 0.0015
+    #: Dispatch work to an existing thread in a pool (Swala, Enterprise).
+    thread_dispatch_cpu: float = 0.0002
+    #: fork() a new server process per connection (NCSA HTTPd model).
+    process_fork_cpu: float = 0.012
+    #: fork()+exec() of a CGI program plus environment setup and the
+    #: request/response pipe plumbing.  This is what caching a CGI saves
+    #: even when the script body is empty (paper Fig. 3).
+    cgi_fork_exec_cpu: float = 0.030
+    #: Generic system-call overhead (open/close/stat).
+    syscall_cpu: float = 0.00005
+    #: Copy cost per byte for a read()-based send path.
+    copy_per_byte_cpu: float = 25e-9
+    #: Copy cost per byte when the file is memory-mapped (Swala path);
+    #: mmap eliminates double buffering, so this is much cheaper.
+    mmap_per_byte_cpu: float = 8e-9
+    #: Per-byte CPU cost of pushing data through the TCP stack.
+    net_send_per_byte_cpu: float = 10e-9
+    #: Writing CGI output to the cache file ("tee" in Fig. 2).
+    cache_write_per_byte_cpu: float = 12e-9
+    #: Insert/update/delete one entry in the in-memory cache directory.
+    directory_update_cpu: float = 0.0001
+    #: Look a request up in one node's directory table.
+    directory_lookup_cpu: float = 0.00008
+    #: Build + send one directory broadcast message (per peer).
+    broadcast_per_peer_cpu: float = 0.00015
+    #: Requester-side cost of one remote cache fetch: TCP connection setup
+    #: to the peer, request marshalling, and reply demultiplexing.  This is
+    #: why a remote fetch stays measurably slower than a local one even
+    #: though the file read runs on the (otherwise idle) owner.
+    remote_fetch_cpu: float = 0.0025
+    #: One mutex/rwlock acquire+release pair (drives the entry-granularity
+    #: locking ablation of §4.2, where a lookup performs O(table size) lock
+    #: operations).
+    lock_op_cpu: float = 2e-6
+
+    #: OS buffer cache available for file data, bytes (64 MB machines; most
+    #: of RAM after the server + OS takes its share).
+    buffer_cache_bytes: int = 32 * 1024 * 1024
+
+    disk: DiskParams = field(default_factory=DiskParams)
+
+    def with_(self, **kw) -> "MachineCosts":
+        """A copy with selected fields replaced (keeps calibration audit trail)."""
+        return replace(self, **kw)
+
+
+#: The default testbed machine (six Ultra 1s; the two Ultra 2s were pinned
+#: to a single CPU during the paper's speedup runs, so one profile suffices).
+SUN_ULTRA1 = MachineCosts()

@@ -1,0 +1,44 @@
+"""A FCFS disk device."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator, Tally
+from .costs import DiskParams
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """One spindle: requests queue FCFS and hold the device for their
+    positioning + transfer time."""
+
+    def __init__(self, sim: Simulator, params: DiskParams, name: str = "disk"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._device = Resource(sim, capacity=1, name=name)
+        self.reads = 0
+        self.bytes_read = 0
+        self.service_times = Tally(f"{name}.service", keep_samples=False)
+
+    def read(self, nbytes: int) -> Generator:
+        """Process: perform one contiguous read of ``nbytes``."""
+        service = self.params.read_time(nbytes)
+        req = self._device.request()
+        yield req
+        try:
+            yield self.sim.timeout(service)
+        finally:
+            self._device.release(req)
+        self.reads += 1
+        self.bytes_read += nbytes
+        self.service_times.observe(service)
+
+    @property
+    def queue_length(self) -> int:
+        return self._device.queue_length
+
+    def __repr__(self) -> str:
+        return f"<Disk {self.name!r} reads={self.reads}>"

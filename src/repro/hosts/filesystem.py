@@ -1,0 +1,150 @@
+"""Filesystem with an OS buffer cache.
+
+The paper's design leans on UNIX file-system caching: Swala stores each
+cached CGI result in its own file and expects "any recently used,
+reasonably-sized file to be available in memory".  We therefore model an
+LRU buffer cache over file blocks: reads of hot files cost only copy CPU,
+cold reads pay the disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generator, Tuple
+
+from ..sim import Simulator
+from .costs import MachineCosts
+from .disk import Disk
+
+__all__ = ["FileSystem", "FileNotFound"]
+
+
+class FileNotFound(KeyError):
+    """Raised when reading a path that was never written."""
+
+
+class FileSystem:
+    """Named files + a block-granular LRU buffer cache in front of a disk."""
+
+    def __init__(self, sim: Simulator, costs: MachineCosts, disk: Disk, name: str = "fs"):
+        self.sim = sim
+        self.costs = costs
+        self.disk = disk
+        self.name = name
+        self._files: Dict[str, int] = {}  # path -> size in bytes
+        self._mtimes: Dict[str, float] = {}  # path -> last modification time
+        self._cache: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self._capacity_blocks = max(
+            1, costs.buffer_cache_bytes // costs.disk.block_size
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- namespace --------------------------------------------------------
+    def create(self, path: str, size: int) -> None:
+        """Create or overwrite a file of ``size`` bytes (metadata only)."""
+        if size < 0:
+            raise ValueError(f"negative file size {size}")
+        self._files[path] = size
+        self._mtimes[path] = self.sim.now
+
+    def mtime(self, path: str) -> float:
+        """Last modification time (the source-monitor's stat() view)."""
+        try:
+            return self._mtimes[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size_of(self, path: str) -> int:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFound(path)
+        nblocks = self._nblocks(self._files.pop(path))
+        self._mtimes.pop(path, None)
+        for i in range(nblocks):
+            self._cache.pop((path, i), None)
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- block cache --------------------------------------------------------
+    def _nblocks(self, size: int) -> int:
+        bs = self.costs.disk.block_size
+        return max(1, -(-size // bs))  # ceil; even empty files own a block
+
+    def _touch(self, key: Tuple[str, int]) -> bool:
+        """LRU lookup; returns True on hit."""
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return True
+        return False
+
+    def _insert(self, key: Tuple[str, int]) -> None:
+        self._cache[key] = None
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity_blocks:
+            self._cache.popitem(last=False)
+
+    def cached_fraction(self, path: str) -> float:
+        """Fraction of a file's blocks currently resident (for tests/metrics)."""
+        size = self.size_of(path)
+        nblocks = self._nblocks(size)
+        resident = sum(1 for i in range(nblocks) if (path, i) in self._cache)
+        return resident / nblocks
+
+    # -- I/O ----------------------------------------------------------------
+    def read(self, path: str) -> Generator:
+        """Process: read a whole file; returns bytes that came from disk.
+
+        Charges disk time for missing blocks (coalesced into one contiguous
+        access per miss-run, which is how the FS read-ahead behaves for the
+        sequential whole-file reads the web server issues).
+        """
+        size = self.size_of(path)
+        nblocks = self._nblocks(size)
+        bs = self.costs.disk.block_size
+        missing = 0
+        for i in range(nblocks):
+            key = (path, i)
+            if self._touch(key):
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                missing += 1
+                self._insert(key)
+        disk_bytes = 0
+        if missing:
+            disk_bytes = min(size, missing * bs)
+            yield from self.disk.read(disk_bytes)
+        return disk_bytes
+
+    def write(self, path: str, size: int) -> Generator:
+        """Process: create/overwrite ``path``; contents land in the buffer
+        cache (write-back — the flush is asynchronous and uncharged, like
+        the UNIX update daemon)."""
+        self.create(path, size)
+        for i in range(self._nblocks(size)):
+            self._insert((path, i))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def warm(self, path: str) -> None:
+        """Pull a file wholly into the buffer cache without charging time."""
+        size = self.size_of(path)
+        for i in range(self._nblocks(size)):
+            self._insert((path, i))
+
+    def __repr__(self) -> str:
+        return (
+            f"<FileSystem {self.name!r} files={len(self._files)} "
+            f"cached_blocks={len(self._cache)}/{self._capacity_blocks}>"
+        )

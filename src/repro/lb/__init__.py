@@ -1,0 +1,5 @@
+"""Front-end load balancing for the server cluster."""
+
+from .balancer import BALANCER_POLICIES, LOAD_REPORT_PORT, LoadBalancer
+
+__all__ = ["LoadBalancer", "BALANCER_POLICIES", "LOAD_REPORT_PORT"]

@@ -1,0 +1,160 @@
+"""Front-end request dispatcher for the server cluster.
+
+The paper positions Swala alongside load-balancing multi-node servers
+(SWEB [2], Dias et al. [7]); its own experiments pin client threads to
+nodes.  This module adds the dispatcher those systems use, so routing
+policy becomes an experimental variable:
+
+* ``round_robin``   — classic rotation;
+* ``random``        — uniform random backend;
+* ``least_loaded``  — pick the backend with the lowest recently-reported
+  CPU load (backends heartbeat their run-queue length, as SWEB's
+  load-information module did);
+* ``url_hash``      — hash the request URL to a backend: cache-affinity
+  routing, which sends every repeat of a query to the same node (the idea
+  later made famous as LARD).
+
+The dispatcher relays the accepted connection to the backend and the
+backend answers the *client* directly (TCP handoff / redirect semantics,
+as in SWEB), so response bodies do not flow through the front end twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from ..core.protocol import HTTP_REQUEST_BYTES, HttpConnection
+from ..hosts import Machine
+from ..net import Network
+from ..servers.base import HTTP_PORT
+from ..sim import Simulator, Store
+
+__all__ = ["LoadBalancer", "BALANCER_POLICIES", "LOAD_REPORT_PORT"]
+
+BALANCER_POLICIES = ("round_robin", "random", "least_loaded", "url_hash")
+
+#: Port on the balancer where backends report their load.
+LOAD_REPORT_PORT = "lb-load"
+#: Size of one heartbeat message.
+LOAD_REPORT_BYTES = 60
+#: CPU cost of accepting + relaying one connection on the front end.
+FORWARD_CPU = 0.0004
+
+
+def _stable_hash(url: str) -> int:
+    """Deterministic across runs/processes (unlike built-in ``hash``)."""
+    return int.from_bytes(hashlib.md5(url.encode()).digest()[:4], "little")
+
+
+class LoadBalancer:
+    """A dispatcher node in front of ``backends``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        network: Network,
+        backends: Sequence[str],
+        policy: str = "round_robin",
+        name: Optional[str] = None,
+        heartbeat_interval: float = 0.5,
+        rng_seed: int = 0,
+    ):
+        if policy not in BALANCER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {BALANCER_POLICIES}"
+            )
+        if not backends:
+            raise ValueError("need at least one backend")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.sim = sim
+        self.machine = machine
+        self.network = network
+        self.backends = list(backends)
+        self.policy = policy
+        self.name = name or machine.name
+        self.heartbeat_interval = heartbeat_interval
+        self.listen_box: Store = network.register(self.name, HTTP_PORT)
+        self._load_box: Store = network.register(self.name, LOAD_REPORT_PORT)
+        self._rr = 0
+        import random as _random
+
+        self._rng = _random.Random(rng_seed)
+        #: Latest reported load per backend (run-queue length).
+        self.reported_load: Dict[str, float] = {b: 0.0 for b in self.backends}
+        self.forwarded = 0
+        self.per_backend: Dict[str, int] = {b: 0 for b in self.backends}
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self.sim.process(self._dispatch_loop(), name=f"{self.name}.dispatch")
+        if self.policy == "least_loaded":
+            self.sim.process(self._load_receiver(), name=f"{self.name}.load")
+
+    def attach_heartbeats(self, servers) -> None:
+        """Spawn a heartbeat process on every backend server (reports its
+        machine's CPU run-queue length to this balancer)."""
+        for server in servers:
+            self.sim.process(
+                self._heartbeat(server), name=f"{server.name}.heartbeat"
+            )
+
+    # -- routing --------------------------------------------------------------
+    def choose(self, conn: HttpConnection) -> str:
+        if self.policy == "round_robin":
+            backend = self.backends[self._rr % len(self.backends)]
+            self._rr += 1
+            return backend
+        if self.policy == "random":
+            return self._rng.choice(self.backends)
+        if self.policy == "url_hash":
+            return self.backends[_stable_hash(conn.request.url) % len(self.backends)]
+        # least_loaded
+        return min(
+            self.backends, key=lambda b: (self.reported_load[b], b)
+        )
+
+    # -- daemons ------------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            msg = yield self.listen_box.get()
+            conn: HttpConnection = msg.payload
+            yield self.machine.compute(FORWARD_CPU)
+            backend = self.choose(conn)
+            self.forwarded += 1
+            self.per_backend[backend] += 1
+            # Relay the connection; the backend replies to the client
+            # directly (handoff semantics).
+            self.network.send(
+                self.name, backend, HTTP_PORT, conn, HTTP_REQUEST_BYTES
+            )
+
+    def _load_receiver(self):
+        while True:
+            msg = yield self._load_box.get()
+            backend, load = msg.payload
+            if backend in self.reported_load:
+                self.reported_load[backend] = load
+
+    def _heartbeat(self, server):
+        while True:
+            yield self.sim.timeout(self.heartbeat_interval)
+            self.network.send(
+                server.name,
+                self.name,
+                LOAD_REPORT_PORT,
+                (server.name, float(server.machine.cpu.load)),
+                LOAD_REPORT_BYTES,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LoadBalancer {self.name!r} policy={self.policy} "
+            f"forwarded={self.forwarded}>"
+        )

@@ -1,0 +1,48 @@
+"""Tiny ASCII charts for example scripts and benchmark summaries."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["bar_chart", "series_chart"]
+
+
+def bar_chart(
+    title: str,
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the maximum value::
+
+        == title ==
+        label-a | ######################  1.23
+        label-b | ###########             0.61
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    lines = [f"== {title} =="]
+    if not items:
+        return lines[0]
+    label_w = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    for label, value in items:
+        n = int(round(width * value / peak)) if peak > 0 else 0
+        lines.append(
+            f"{label.ljust(label_w)} | {'#' * n:<{width}} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 50,
+) -> str:
+    """One bar row per x-value per series (grouped comparison)."""
+    items = []
+    for x, *vals in zip(xs, *(vals for _, vals in series)):
+        for (name, _), v in zip(series, vals):
+            items.append((f"{name} @ {x:g}", v))
+    return bar_chart(title, items, width=width)

@@ -1,0 +1,72 @@
+"""Structured export of experiment results (CSV / JSON).
+
+Experiment harnesses return lists of frozen dataclass rows; this module
+serializes them for downstream plotting without any bespoke glue.
+Derived ``@property`` values are included alongside the stored fields so
+exports carry the same columns the rendered tables show.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+__all__ = ["row_to_dict", "rows_to_csv", "rows_to_json", "write_rows"]
+
+
+def _clean(value: Any) -> Any:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return None
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def row_to_dict(row: Any) -> Dict[str, Any]:
+    """Dataclass fields + public properties, JSON-safe values."""
+    if not dataclasses.is_dataclass(row):
+        raise TypeError(f"{row!r} is not a dataclass row")
+    out = {f.name: _clean(getattr(row, f.name)) for f in dataclasses.fields(row)}
+    for name in dir(type(row)):
+        if name.startswith("_") or name in out:
+            continue
+        attr = getattr(type(row), name)
+        if isinstance(attr, property):
+            out[name] = _clean(getattr(row, name))
+    return out
+
+
+def rows_to_json(rows: Sequence[Any], indent: int = 2) -> str:
+    return json.dumps([row_to_dict(r) for r in rows], indent=indent)
+
+
+def rows_to_csv(rows: Sequence[Any]) -> str:
+    if not rows:
+        return ""
+    dicts = [row_to_dict(r) for r in rows]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(dicts[0]))
+    writer.writeheader()
+    for d in dicts:
+        writer.writerow(d)
+    return buffer.getvalue()
+
+
+def write_rows(rows: Sequence[Any], path: Union[str, Path]) -> None:
+    """Write rows as CSV or JSON depending on the file extension."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(rows_to_json(rows) + "\n")
+    elif path.suffix == ".csv":
+        path.write_text(rows_to_csv(rows))
+    else:
+        raise ValueError(f"unsupported export extension {path.suffix!r} "
+                         "(use .csv or .json)")

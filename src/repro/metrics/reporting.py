@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints the same rows/series its paper table or figure
+reports; this module renders them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """Fixed-width text table with a title bar, like::
+
+        == Table 5: ... ==
+        nodes | standalone | cooperative
+        ------+------------+------------
+            1 |        466 |         466
+    """
+    cells: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"({note})")
+    return "\n".join(lines)

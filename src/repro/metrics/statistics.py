@@ -1,0 +1,139 @@
+"""Output-analysis statistics for simulation studies.
+
+Response-time samples from one simulation run are autocorrelated (closed-
+loop clients, shared queues), so naive standard errors lie.  This module
+provides the standard remedies:
+
+* :func:`mser5_truncation` — MSER-5 warm-up detection: drop the initial
+  transient before estimating steady-state means;
+* :func:`batch_means_ci` — non-overlapping batch means with a Student-t
+  confidence interval (valid when batches are long enough to decorrelate);
+* :func:`compare_runs` — Welch's t-style comparison of two alternatives
+  (e.g. caching on vs. off), returning the difference CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["mser5_truncation", "batch_means_ci", "compare_runs", "MeanCI"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A point estimate with a symmetric confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.3g} "
+            f"({self.confidence:.0%} CI, n={self.n})"
+        )
+
+
+def mser5_truncation(samples: Sequence[float]) -> int:
+    """MSER-5 warm-up truncation point (in samples).
+
+    Averages the series into batches of 5, then picks the truncation that
+    minimizes the marginal standard error of the remaining batch means.
+    Returns the number of *samples* to drop from the front.  Searches only
+    the first half of the series (the standard guard against degenerate
+    late minima).
+    """
+    samples = list(samples)
+    if len(samples) < 10:
+        return 0
+    batch = 5
+    n_batches = len(samples) // batch
+    means = [
+        sum(samples[i * batch:(i + 1) * batch]) / batch
+        for i in range(n_batches)
+    ]
+    best_d, best_stat = 0, math.inf
+    for d in range(n_batches // 2):
+        tail = means[d:]
+        m = len(tail)
+        mu = sum(tail) / m
+        var = sum((x - mu) ** 2 for x in tail) / m
+        stat = var / m  # MSER statistic
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+    return best_d * batch
+
+
+def batch_means_ci(
+    samples: Sequence[float],
+    n_batches: int = 20,
+    confidence: float = 0.95,
+    truncate: bool = True,
+) -> MeanCI:
+    """Steady-state mean with a batch-means confidence interval."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    samples = list(samples)
+    if truncate:
+        samples = samples[mser5_truncation(samples):]
+    if len(samples) < n_batches:
+        raise ValueError(
+            f"only {len(samples)} samples for {n_batches} batches"
+        )
+    size = len(samples) // n_batches
+    batches = [
+        sum(samples[i * size:(i + 1) * size]) / size for i in range(n_batches)
+    ]
+    mean = sum(batches) / n_batches
+    var = sum((b - mean) ** 2 for b in batches) / (n_batches - 1)
+    se = math.sqrt(var / n_batches)
+    t = _scipy_stats.t.ppf(0.5 + confidence / 2, df=n_batches - 1)
+    return MeanCI(
+        mean=mean, half_width=t * se, confidence=confidence,
+        n=len(samples),
+    )
+
+
+def compare_runs(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    n_batches: int = 20,
+) -> Tuple[MeanCI, MeanCI, MeanCI]:
+    """Compare two alternatives: returns (mean_a, mean_b, mean_a - mean_b).
+
+    The difference CI combines the two batch-means standard errors
+    (Welch); if it excludes zero, the alternatives differ significantly.
+    """
+    ci_a = batch_means_ci(a, n_batches=n_batches, confidence=confidence)
+    ci_b = batch_means_ci(b, n_batches=n_batches, confidence=confidence)
+    t = _scipy_stats.t.ppf(0.5 + confidence / 2, df=n_batches - 1)
+    se_a = ci_a.half_width / t
+    se_b = ci_b.half_width / t
+    se_diff = math.sqrt(se_a**2 + se_b**2)
+    diff = MeanCI(
+        mean=ci_a.mean - ci_b.mean,
+        half_width=t * se_diff,
+        confidence=confidence,
+        n=min(ci_a.n, ci_b.n),
+    )
+    return ci_a, ci_b, diff

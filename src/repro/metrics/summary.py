@@ -1,0 +1,66 @@
+"""Derived experiment metrics: speedups, hit-ratio bounds, comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.stats import ClusterStats
+from ..workload import Trace
+
+__all__ = ["speedup", "HitRatioSummary", "hit_ratio_summary", "percent_of"]
+
+
+def speedup(baseline_time: float, time: float) -> float:
+    """How many times faster than the baseline (``baseline / time``)."""
+    if time <= 0:
+        raise ValueError(f"non-positive time {time}")
+    return baseline_time / time
+
+
+def percent_of(part: float, whole: float) -> float:
+    """``part`` as a percentage of ``whole`` (0 when the whole is 0)."""
+    return 100.0 * part / whole if whole else 0.0
+
+
+@dataclass(frozen=True)
+class HitRatioSummary:
+    """Hit accounting against the theoretical upper bound (Tables 5/6)."""
+
+    nodes: int
+    hits: int
+    local_hits: int
+    remote_hits: int
+    misses: int
+    upper_bound: int
+    false_hits: int
+    false_misses: int
+
+    @property
+    def percent_of_upper_bound(self) -> float:
+        return percent_of(self.hits, self.upper_bound)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def hit_ratio_summary(
+    stats: ClusterStats, trace: Trace, nodes: Optional[int] = None
+) -> HitRatioSummary:
+    """Summarize a run against the trace's infinite-cache hit bound.
+
+    The upper bound counts every occurrence after the first of each URL —
+    the paper's "theoretical upper bound on hits for the requests issued".
+    """
+    return HitRatioSummary(
+        nodes=nodes if nodes is not None else len(stats.nodes),
+        hits=stats.hits,
+        local_hits=stats.local_hits,
+        remote_hits=stats.remote_hits,
+        misses=stats.misses,
+        upper_bound=trace.max_possible_hits(),
+        false_hits=stats.false_hits,
+        false_misses=stats.false_misses,
+    )

@@ -1,0 +1,31 @@
+"""Network message record."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One datagram/stream chunk moving between hosts."""
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    size: int
+    send_time: float
+    deliver_time: float = -1.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def in_flight_time(self) -> float:
+        if self.deliver_time < 0:
+            raise RuntimeError(f"message {self.msg_id} not yet delivered")
+        return self.deliver_time - self.send_time

@@ -1,0 +1,145 @@
+"""Switched-LAN model.
+
+The paper's testbed is a 100 Mbit switched Ethernet, so the contention
+points are the per-host NICs, not a shared bus: a message holds its
+sender's transmit link for ``size / bandwidth`` seconds, then arrives after
+a propagation/switching ``latency``.  Delivery is reliable and ordered per
+sender-NIC (the paper assumes a reliable low-latency LAN; §4.2 leans on
+that for the broadcast protocol).
+
+Hosts expose named *ports*; each registered port is a :class:`~repro.sim.
+Store` mailbox a daemon process can block on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..sim import Event, Resource, Simulator, Store, Tally
+from .message import Message
+
+__all__ = ["Network", "UnknownPort", "LAN_100MBIT"]
+
+#: 100 Mbit/s Ethernet in bytes/second.
+LAN_100MBIT = 100e6 / 8
+
+
+class UnknownPort(KeyError):
+    """Raised when sending to a host/port nobody registered."""
+
+
+class Network:
+    """Reliable switched LAN connecting named hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 0.0001,
+        bandwidth: float = LAN_100MBIT,
+        name: str = "lan",
+        loss_rate: float = 0.0,
+        lossy_ports: Optional[Iterable[str]] = None,
+        loss_seed: int = 0,
+    ):
+        """``loss_rate`` drops that fraction of messages sent to ports in
+        ``lossy_ports`` (failure injection for the datagram-style directory
+        broadcasts; TCP-like flows stay reliable, as the paper assumes)."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.name = name
+        self.loss_rate = loss_rate
+        self.lossy_ports = frozenset(lossy_ports or ())
+        self._loss_rng = random.Random(loss_seed)
+        self._nics: Dict[str, Resource] = {}
+        self._ports: Dict[Tuple[str, str], Store] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.transit_times = Tally(f"{name}.transit", keep_samples=False)
+
+    # -- topology -----------------------------------------------------------
+    def attach(self, host: str) -> None:
+        """Give ``host`` a NIC (idempotent)."""
+        if host not in self._nics:
+            self._nics[host] = Resource(self.sim, capacity=1, name=f"{host}.nic")
+
+    def register(self, host: str, port: str) -> Store:
+        """Open a mailbox for ``port`` on ``host`` and return it."""
+        self.attach(host)
+        key = (host, port)
+        if key not in self._ports:
+            self._ports[key] = Store(self.sim, name=f"{host}:{port}")
+        return self._ports[key]
+
+    def mailbox(self, host: str, port: str) -> Store:
+        try:
+            return self._ports[(host, port)]
+        except KeyError:
+            raise UnknownPort(f"{host}:{port}") from None
+
+    # -- transmission ---------------------------------------------------------
+    def send(self, src: str, dst: str, port: str, payload: Any, size: int) -> Event:
+        """Transmit; the returned event fires at *delivery* with the Message.
+
+        Fire-and-forget senders may simply ignore the returned event.
+        """
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        if (dst, port) not in self._ports:
+            raise UnknownPort(f"{dst}:{port}")
+        self.attach(src)
+        msg = Message(
+            src=src, dst=dst, port=port, payload=payload, size=size,
+            send_time=self.sim.now,
+        )
+        delivered = Event(self.sim)
+        self.sim.process(self._transmit(msg, delivered), name=f"xmit-{msg.msg_id}")
+        return delivered
+
+    def _transmit(self, msg: Message, delivered: Event):
+        nic = self._nics[msg.src]
+        req = nic.request()
+        yield req
+        try:
+            if msg.size:
+                yield self.sim.timeout(msg.size / self.bandwidth)
+        finally:
+            nic.release(req)
+        if (
+            self.loss_rate
+            and msg.port in self.lossy_ports
+            and self._loss_rng.random() < self.loss_rate
+        ):
+            self.messages_dropped += 1
+            delivered.succeed(None)  # dropped: delivery event reports None
+            return
+        yield self.sim.timeout(self.latency)
+        msg.deliver_time = self.sim.now
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        self.transit_times.observe(msg.in_flight_time)
+        self._ports[(msg.dst, msg.port)].put(msg)
+        delivered.succeed(msg)
+
+    def broadcast(self, src: str, dsts, port: str, payload: Any, size: int) -> list:
+        """Unicast a copy to every host in ``dsts`` (LAN broadcast is modelled
+        as replicated unicast: each copy serializes on the sender NIC)."""
+        return [self.send(src, dst, port, payload, size) for dst in dsts]
+
+    def transfer_time(self, size: int) -> float:
+        """Uncontended wire time for a message of ``size`` bytes."""
+        return self.latency + size / self.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network {self.name!r} hosts={len(self._nics)} "
+            f"sent={self.messages_sent}>"
+        )

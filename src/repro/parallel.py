@@ -1,0 +1,107 @@
+"""Parallel parameter sweeps over experiment configurations.
+
+Simulation runs are single-threaded and deterministic, so sweeps
+(node-count x policy x seed grids) are embarrassingly parallel across
+*processes*.  This module expands parameter grids deterministically and
+fans the runs out over a process pool, returning results in grid order so
+a parallel sweep is bit-identical to a serial one.
+
+Typical use::
+
+    from repro.parallel import run_grid
+    from repro.experiments import run_hit_ratio_experiment
+
+    results = run_grid(
+        my_experiment_fn,              # top-level callable (picklable)
+        {"cache_size": [20, 200, 2000], "seed": [0, 1, 2]},
+        n_workers=4,
+    )
+    for r in results:
+        print(r.params, r.value)
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["GridResult", "expand_grid", "run_grid", "map_parallel"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """One grid cell: the parameters used, the return value, wall time."""
+
+    params: Dict[str, Any]
+    value: Any
+    elapsed: float
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of the grid in deterministic (insertion) order."""
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    for key in keys:
+        if not isinstance(grid[key], (list, tuple)):
+            raise TypeError(f"grid value for {key!r} must be a list/tuple")
+        if not grid[key]:
+            raise ValueError(f"grid value for {key!r} is empty")
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+
+
+def _call_cell(payload):
+    fn, params = payload
+    start = time.perf_counter()
+    value = fn(**params)
+    return value, time.perf_counter() - start
+
+
+def run_grid(
+    fn: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+    n_workers: Optional[int] = None,
+) -> List[GridResult]:
+    """Run ``fn(**params)`` for every grid cell; results in grid order.
+
+    ``fn`` must be a module-level (picklable) callable.  ``n_workers`` <= 1
+    runs serially in-process (useful for debugging); ``None`` uses the CPU
+    count capped at the number of cells.
+    """
+    cells = expand_grid(grid)
+    if n_workers is None:
+        n_workers = min(len(cells), os.cpu_count() or 1)
+    payloads = [(fn, params) for params in cells]
+    if n_workers <= 1:
+        outcomes = [_call_cell(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            outcomes = list(pool.map(_call_cell, payloads))
+    return [
+        GridResult(params=params, value=value, elapsed=elapsed)
+        for params, (value, elapsed) in zip(cells, outcomes)
+    ]
+
+
+def map_parallel(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    n_workers: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving parallel map over ``items`` (processes)."""
+    items = list(items)
+    if not items:
+        return []
+    if n_workers is None:
+        n_workers = min(len(items), os.cpu_count() or 1)
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,6 @@
+"""Forward proxy caching (the related-work alternative the paper contrasts
+with server-side dynamic-content caching)."""
+
+from .proxy import ProxyCache
+
+__all__ = ["ProxyCache"]

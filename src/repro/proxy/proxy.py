@@ -1,0 +1,186 @@
+"""A forward proxy cache between clients and an origin server.
+
+The paper's related-work argument (§1–2): proxy caching attacks the
+*network* bottleneck by keeping static files near clients, but it
+"intentionally avoid[s] caching dynamic data" — it cannot cache
+authenticated/per-user output, and it has no view of server execution
+time for replacement decisions.  Swala attacks the *CPU* bottleneck
+instead.  This module builds the proxy so the comparison can be run.
+
+Topology: the proxy bridges two networks — a fast client-side LAN and a
+slower WAN toward the origin::
+
+    clients ──LAN──▶ ProxyCache ──WAN──▶ origin server
+
+A proxy hit answers on the LAN only.  A miss forwards the connection over
+the WAN, relays the origin's response back, and (if the response is
+cacheable under HTTP semantics) stores it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from ..cache import CacheEntry, CacheStore
+from ..core.protocol import (
+    HTTP_REQUEST_BYTES,
+    HTTP_RESPONSE_HEADER_BYTES,
+    HttpConnection,
+    HttpResponse,
+)
+from ..core.stats import NodeStats
+from ..hosts import Machine
+from ..net import Network
+from ..servers.base import HTTP_PORT
+from ..sim import Simulator, Store
+from ..workload import Request, RequestKind
+
+__all__ = ["ProxyCache"]
+
+_proxy_fetch_ids = itertools.count()
+
+
+class ProxyCache:
+    """Shared forward cache for a population of clients.
+
+    ``cache_dynamic=False`` (the realistic 1990s default) never caches CGI
+    responses.  ``cache_dynamic=True`` models the naive alternative the
+    paper warns about: it still must skip per-user (``cacheable=False``)
+    responses, and its TTL heuristic cannot use execution time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        lan: Network,
+        wan: Network,
+        origin: str,
+        name: Optional[str] = None,
+        capacity: int = 10_000,
+        policy: str = "lru",
+        cache_dynamic: bool = False,
+        dynamic_ttl: float = 60.0,
+        n_threads: int = 32,
+    ):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        if dynamic_ttl <= 0:
+            raise ValueError("dynamic_ttl must be positive")
+        self.sim = sim
+        self.machine = machine
+        self.lan = lan
+        self.wan = wan
+        self.origin = origin
+        self.name = name or machine.name
+        self.cache_dynamic = cache_dynamic
+        self.dynamic_ttl = dynamic_ttl
+        self.n_threads = n_threads
+        self.listen_box: Store = lan.register(self.name, HTTP_PORT)
+        wan.attach(self.name)
+        self.store = CacheStore(machine.fs, capacity, policy=policy, owner=self.name)
+        self.stats = NodeStats(node=self.name)
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        for tid in range(self.n_threads):
+            self.sim.process(self._worker(tid), name=f"{self.name}.w{tid}")
+
+    def _worker(self, tid: int):
+        reply_port = f"proxy-origin-rt{tid}"
+        reply_box = self.wan.register(self.name, reply_port)
+        while True:
+            msg = yield self.listen_box.get()
+            yield self.machine.dispatch_thread()
+            yield from self.handle(msg.payload, reply_box, reply_port)
+
+    # -- policy ---------------------------------------------------------------
+    def may_cache(self, request: Request) -> bool:
+        """HTTP-semantics admissibility at a *shared* proxy."""
+        if request.kind is RequestKind.FILE:
+            return True
+        # Dynamic: only if configured, and never per-user/authenticated
+        # output (the proxy serves many users; the paper's §2 point).
+        return self.cache_dynamic and request.cacheable
+
+    # -- request path -----------------------------------------------------------
+    def handle(self, conn: HttpConnection, reply_box: Store, reply_port: str) -> Generator:
+        request = conn.request
+        yield self.machine.accept_and_parse()
+        now = self.sim.now
+        entry = self.store.get(request.url) if self.may_cache(request) else None
+        if entry is not None and entry.expired(now):
+            entry = None
+        if entry is not None:
+            # Proxy hit: serve from the proxy's own disk/buffer cache.
+            yield from self.machine.serve_file(entry.file_path, mmap=True)
+            self.store.record_access(request.url, now)
+            if request.kind is RequestKind.FILE:
+                self.stats.files_served += 1
+            self.stats.local_hits += 1
+            yield self.machine.send_bytes_cpu(request.response_size)
+            response = HttpResponse(
+                request=request, server=self.name, source="proxy-cache",
+                sent_at=conn.sent_at,
+            )
+            self.lan.send(
+                self.name, conn.client, conn.reply_port, response, response.size
+            )
+            served_from = "proxy-cache"
+        else:
+            # Miss: fetch from the origin over the WAN, relay, maybe store.
+            self.stats.misses += 1
+            origin_conn = HttpConnection(
+                request=request,
+                client=self.name,
+                reply_port=reply_port,
+                sent_at=self.sim.now,
+            )
+            self.wan.send(
+                self.name, self.origin, HTTP_PORT, origin_conn, HTTP_REQUEST_BYTES
+            )
+            origin_msg = yield reply_box.get()
+            origin_response: HttpResponse = origin_msg.payload
+            # Receive + relay copy costs.
+            yield self.machine.compute(
+                self.machine.costs.net_send_per_byte_cpu * origin_response.size
+            )
+            if self.may_cache(request) and origin_response.ok:
+                ttl = (
+                    float("inf")
+                    if request.kind is RequestKind.FILE
+                    else self.dynamic_ttl
+                )
+                entry = CacheEntry(
+                    url=request.url,
+                    owner=self.name,
+                    size=request.response_size,
+                    exec_time=request.cpu_time,
+                    created=self.sim.now,
+                    ttl=ttl,
+                )
+                self.store.insert(entry, self.sim.now)
+                self.stats.inserts += 1
+            yield self.machine.send_bytes_cpu(origin_response.size)
+            relayed = HttpResponse(
+                request=request, server=self.name,
+                source=f"via-proxy:{origin_response.source}",
+                ok=origin_response.ok, sent_at=conn.sent_at,
+            )
+            self.lan.send(
+                self.name, conn.client, conn.reply_port, relayed, relayed.size
+            )
+            served_from = "origin"
+        self.stats.requests += 1
+        self.stats.observe_response(served_from, self.sim.now - conn.sent_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProxyCache {self.name!r} cached={len(self.store)} "
+            f"hits={self.stats.local_hits} misses={self.stats.misses}>"
+        )

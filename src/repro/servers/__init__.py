@@ -1,0 +1,19 @@
+"""Web-server models: the shared base, thread-pool base, and the two
+baseline comparators the paper benchmarks against."""
+
+from .accesslog import AccessLog, format_clf_line, simulated_clf_timestamp
+from .base import HTTP_PORT, BaseServer
+from .enterprise import EnterpriseServer
+from .httpd import NcsaHttpd
+from .threaded import ThreadPoolServer
+
+__all__ = [
+    "BaseServer",
+    "ThreadPoolServer",
+    "NcsaHttpd",
+    "EnterpriseServer",
+    "HTTP_PORT",
+    "AccessLog",
+    "format_clf_line",
+    "simulated_clf_timestamp",
+]

@@ -1,0 +1,34 @@
+"""NCSA HTTPd 1.5.1 baseline model.
+
+The paper attributes HTTPd's low performance to its process-per-request
+architecture ("it uses processes rather than threads").  We model exactly
+that: a sequential accept loop that fork()s a fresh server process for
+every connection, plus a read()/write() send path (no memory-mapped I/O),
+so each request carries a large fixed CPU cost.
+"""
+
+from __future__ import annotations
+
+from .base import BaseServer
+
+__all__ = ["NcsaHttpd"]
+
+
+class NcsaHttpd(BaseServer):
+    """Fork-per-request server."""
+
+    use_mmap = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self.sim.process(self._accept_loop(), name=f"{self.name}.accept")
+
+    def _accept_loop(self):
+        """The parent: accepts, forks, hands the socket to the child."""
+        while True:
+            msg = yield self.listen_box.get()
+            # fork() happens in the parent, serializing connection setup.
+            yield self.machine.fork_process()
+            self.sim.process(self.handle(msg.payload), name=f"{self.name}.child")

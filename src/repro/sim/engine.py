@@ -1,0 +1,495 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, generator-based DES in the style of SimPy, built
+from scratch so the whole reproduction is self-contained.  Processes are
+Python generators that ``yield`` *events*; the simulator resumes a process
+when the event it waits on is processed.
+
+Determinism: events are ordered by ``(time, priority, sequence)`` where the
+sequence number is a global monotonic counter, so two runs with the same
+seed produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "StopSimulation",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Event priority for internal bookkeeping events (processed first at a tick).
+URGENT = 0
+#: Default event priority.
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` at ``until``."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The interrupt ``cause`` is an arbitrary object supplied by the caller of
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """An occurrence processes can wait for.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called and the
+    event is scheduled) -> *processed* (callbacks have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.  ``None``
+        #: once the event has been processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise RuntimeError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process receives the exception at its ``yield``.  If no
+        process waits, the failure propagates out of :meth:`Simulator.run`
+        unless ``defused`` is set.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.sim._schedule(self, NORMAL)
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class _ConditionValue:
+    """Mapping of events -> values for AllOf/AnyOf results."""
+
+    def __init__(self):
+        self.events: list = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict:
+        return {e: e._value for e in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (base for AllOf/AnyOf)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("events belong to different simulators")
+
+        # Immediately check already-processed events; subscribe to the rest.
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            # Only *processed* events count as "happened": Timeouts are
+            # technically triggered from birth (their value is pre-set), so
+            # ``triggered`` would wrongly include pending timeouts.
+            value = _ConditionValue()
+            value.events = [e for e in self._events if e.processed]
+            self.succeed(value)
+
+
+class AllOf(Condition):
+    """Triggered when all of ``events`` have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, lambda events, count: count == len(events), events)
+
+
+class AnyOf(Condition):
+    """Triggered when at least one of ``events`` has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, lambda events, count: count >= 1, events)
+
+
+class _Initialize(Event):
+    """Kick-off event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event is processed the generator is resumed with the event's value (or
+    the event's exception is thrown in).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None while running).
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+
+        # If we are resumed by something other than the event we were
+        # waiting on (an interrupt), detach from the old target so its later
+        # firing does not resume this process a second time.
+        if self._target is not None and event is not self._target:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        while True:
+            if event._ok:
+                try:
+                    target = self._generator.send(event._value)
+                except StopIteration as exc:
+                    self._terminate(True, exc.value)
+                    break
+                except BaseException as exc:
+                    self._terminate(False, exc)
+                    break
+            else:
+                # Mark handled so it does not also propagate to run().
+                event._defused = True
+                try:
+                    target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._terminate(True, exc.value)
+                    break
+                except BaseException as exc:
+                    if exc is event._value:
+                        # The process chose not to handle the failure.
+                        self._terminate(False, exc)
+                        break
+                    self._terminate(False, exc)
+                    break
+
+            if not isinstance(target, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+
+            if target.processed:
+                # Already done: loop and resume immediately with its value.
+                event = target
+                continue
+
+            if target.callbacks is not None:
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+
+        self.sim._active_process = None
+
+    def _terminate(self, ok: bool, value: Any) -> None:
+        self._target = None
+        if ok:
+            self.succeed(value)
+        else:
+            if isinstance(value, StopSimulation):
+                raise value
+            self._ok = False
+            self._value = value
+            self.sim._schedule(self, NORMAL)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a priority queue of ``(time, prio, seq, event)``."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        #: Callables invoked as ``hook(time, event)`` after each processed
+        #: event — observability taps (see :mod:`repro.sim.probes`).
+        self.step_hooks: list = []
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise StopSimulation("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        for hook in self.step_hooks:
+            hook(self._now, event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash the simulation.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the queue drains, time ``until``, or event ``until``.
+
+        If ``until`` is an :class:`Event`, returns its value when processed.
+        """
+        stop_value = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    return until.value
+
+                def _stop(event: Event) -> None:
+                    raise StopSimulation(event)
+
+                until.callbacks.append(_stop)
+                target_event = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before now ({self._now})"
+                    )
+                target_event = Event(self)
+                target_event._ok = True
+                target_event._value = None
+                heapq.heappush(self._queue, (at, URGENT, self._seq, target_event))
+                self._seq += 1
+
+                def _stop_at(event: Event) -> None:
+                    raise StopSimulation(event)
+
+                target_event.callbacks.append(_stop_at)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as exc:
+            stopper = exc.args[0] if exc.args else None
+            if isinstance(stopper, Event):
+                if stopper is until:
+                    if not stopper._ok:
+                        raise stopper._value
+                    return stopper._value
+                # time-based stop
+                return None
+            return None
+        if until is not None and isinstance(until, Event) and not until.triggered:
+            raise RuntimeError(
+                f"simulation ended with no scheduled events before {until!r} triggered"
+            )
+        return stop_value

@@ -1,0 +1,152 @@
+"""Measurement helpers: tallies and time-weighted series."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Tally", "TimeSeries"]
+
+
+class Tally:
+    """Streaming summary of observations (count / mean / variance / extrema).
+
+    Uses Welford's algorithm so long runs stay numerically stable; raw
+    samples are optionally retained for percentile queries.
+    """
+
+    def __init__(self, name: str = "", keep_samples: bool = True):
+        self.name = name
+        self.keep_samples = keep_samples
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0 if self.count == 1 else math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-safe
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.keep_samples:
+            raise RuntimeError(f"Tally {self.name!r} does not keep samples")
+        if not self.samples:
+            return math.nan
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally into this one (parallel-merge of Welford state)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+        else:
+            n1, n2 = self.count, other.count
+            delta = other._mean - self._mean
+            total = n1 + n2
+            self._mean += delta * n2 / total
+            self._m2 += other._m2 + delta * delta * n1 * n2 / total
+            self.count = total
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.keep_samples and other.keep_samples:
+            self.samples.extend(other.samples)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return f"<Tally {self.name!r} empty>"
+        return (
+            f"<Tally {self.name!r} n={self.count} mean={self.mean:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}>"
+        )
+
+
+class TimeSeries:
+    """A piecewise-constant signal sampled at change points.
+
+    Records ``(time, value)`` pairs and integrates for the time-weighted
+    average — used for queue lengths and CPU load traces.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self.points: List[Tuple[float, float]] = [(start_time, initial)]
+
+    def record(self, time: float, value: float) -> None:
+        last_t, _ = self.points[-1]
+        if time < last_t:
+            raise ValueError(f"time went backwards: {time} < {last_t}")
+        self.points.append((time, value))
+
+    @property
+    def current(self) -> float:
+        return self.points[-1][1]
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of the signal from its start to ``until``."""
+        end = until if until is not None else self.points[-1][0]
+        start = self.points[0][0]
+        if end <= start:
+            return self.points[0][1]
+        area = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            hi = min(t1, end)
+            if hi > t0:
+                area += v0 * (hi - t0)
+            if t1 >= end:
+                break
+        else:
+            t_last, v_last = self.points[-1]
+            if end > t_last:
+                area += v_last * (end - t_last)
+        return area / (end - start)
+
+    def maximum(self) -> float:
+        return max(v for _, v in self.points)
+
+    def values(self) -> Sequence[float]:
+        return [v for _, v in self.points]
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name!r} points={len(self.points)} current={self.current}>"

@@ -1,0 +1,100 @@
+"""Observability taps for simulations.
+
+* :class:`EventTracer` — a bounded in-memory log of processed events
+  (debugging tool: what fired, when, in what order);
+* :func:`sample` — a periodic sampler process that polls any zero-argument
+  metric function into a :class:`~repro.sim.monitor.TimeSeries` (CPU load
+  curves, cache occupancy over time, queue lengths...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from .engine import Event, Process, Simulator, Timeout
+from .monitor import TimeSeries
+
+__all__ = ["EventTracer", "sample"]
+
+
+class EventTracer:
+    """Records ``(time, event_type, detail)`` for each processed event.
+
+    Bounded (``maxlen``) so long runs cannot exhaust memory; attach/detach
+    at will.  ``detail`` is the process name for process events, else the
+    event class name.
+    """
+
+    def __init__(self, sim: Simulator, maxlen: int = 10_000,
+                 include_timeouts: bool = True):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.sim = sim
+        self.include_timeouts = include_timeouts
+        self.records: Deque[Tuple[float, str, str]] = deque(maxlen=maxlen)
+        self.dropped = 0
+        self._attached = False
+
+    def __enter__(self) -> "EventTracer":
+        self.attach()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def attach(self) -> None:
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        self.sim.step_hooks.append(self._on_step)
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.sim.step_hooks.remove(self._on_step)
+            self._attached = False
+
+    def _on_step(self, now: float, event: Event) -> None:
+        if not self.include_timeouts and isinstance(event, Timeout):
+            return
+        kind = type(event).__name__
+        detail = event.name if isinstance(event, Process) else kind
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.records.append((now, kind, detail))
+
+    def of_kind(self, kind: str):
+        return [r for r in self.records if r[1] == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"<EventTracer records={len(self.records)} dropped={self.dropped}>"
+
+
+def sample(
+    sim: Simulator,
+    interval: float,
+    metric: Callable[[], float],
+    name: str = "probe",
+    until: Optional[float] = None,
+) -> TimeSeries:
+    """Start a sampler process polling ``metric()`` every ``interval``.
+
+    Returns the (live) TimeSeries immediately; it fills in as the
+    simulation runs.  ``until`` bounds the sampling horizon (the process
+    exits so ``sim.run()`` can drain).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    series = TimeSeries(name=name, initial=float(metric()), start_time=sim.now)
+
+    def sampler():
+        while until is None or sim.now + interval <= until:
+            yield sim.timeout(interval)
+            series.record(sim.now, float(metric()))
+        return series
+
+    sim.process(sampler(), name=f"sampler-{name}")
+    return series

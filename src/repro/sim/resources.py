@@ -1,0 +1,270 @@
+"""Shared resources for the simulation engine.
+
+* :class:`Resource` — FCFS server with fixed capacity (``request``/``release``).
+* :class:`Store` — FIFO buffer for message passing between processes.
+* :class:`ProcessorSharing` — a CPU model where all runnable jobs share the
+  processors equally (egalitarian processor sharing), the standard model of
+  a time-sliced multi-threaded host.  This is what makes "response time grows
+  with concurrent load" emerge naturally in the server models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+from .engine import Event, Simulator
+
+__all__ = ["Request", "Resource", "Store", "ProcessorSharing", "Job"]
+
+#: Remaining-work threshold below which a PS job counts as finished.
+_EPS = 1e-12
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A FCFS resource with ``capacity`` concurrent users.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ...  # hold the resource
+        resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: set = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            # Released while still waiting (cancellation).
+            self._queue.remove(request)
+            return
+        else:
+            raise RuntimeError(f"{request!r} does not hold {self.name or self!r}")
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {len(self._users)}/{self.capacity} "
+            f"queued={len(self._queue)}>"
+        )
+
+
+class Store:
+    """Unbounded FIFO buffer; ``get`` blocks until an item is available."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def cancel(self, get_event: Event) -> bool:
+        """Withdraw a pending ``get`` (e.g. after a timeout raced it).
+
+        Returns True if the getter was still queued.  Without this, an
+        abandoned getter would silently swallow the next ``put``.
+        """
+        try:
+            self._getters.remove(get_event)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"<Store {self.name!r} items={len(self._items)} waiting={len(self._getters)}>"
+
+
+class Job:
+    """One unit of work submitted to a :class:`ProcessorSharing` CPU."""
+
+    __slots__ = ("demand", "remaining", "done", "start_time", "weight")
+
+    def __init__(self, demand: float, done: Event, start_time: float, weight: float):
+        self.demand = demand
+        self.remaining = demand
+        self.done = done
+        self.start_time = start_time
+        self.weight = weight
+
+
+class ProcessorSharing:
+    """Egalitarian processor-sharing CPU bank.
+
+    ``n`` runnable jobs on ``ncpus`` processors each progress at rate
+    ``min(1, ncpus / total_weight) * weight``.  Weights allow cheap modelling
+    of nice values; the default weight is 1.
+
+    The schedule is recomputed lazily: state advances only when a job
+    arrives or the earliest completion fires.  Stale completion wake-ups are
+    detected with a version counter, so no event cancellation is needed.
+    """
+
+    def __init__(self, sim: Simulator, ncpus: int = 1, name: str = ""):
+        if ncpus < 1:
+            raise ValueError(f"ncpus must be >= 1, got {ncpus}")
+        self.sim = sim
+        self.ncpus = ncpus
+        self.name = name
+        self._jobs: Dict[int, Job] = {}
+        self._next_id = 0
+        self._last_advance = sim.now
+        self._version = 0
+        self.busy_time = 0.0  # integral of utilised CPU-seconds
+        self.total_demand_served = 0.0
+
+    # -- public API -------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Number of jobs currently sharing the CPU(s)."""
+        return len(self._jobs)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean fraction of CPU capacity in use since time zero."""
+        horizon = elapsed if elapsed is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        self._advance()
+        return self.busy_time / (horizon * self.ncpus)
+
+    def execute(self, demand: float, weight: float = 1.0) -> Event:
+        """Submit ``demand`` CPU-seconds of work; the event fires when done.
+
+        The event value is the job's *sojourn time* (completion - submission),
+        which under load exceeds ``demand``.
+        """
+        if demand < 0:
+            raise ValueError(f"negative demand {demand}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        done = Event(self.sim)
+        if demand <= _EPS:
+            done.succeed(0.0)
+            return done
+        self._advance()
+        job = Job(demand, done, self.sim.now, weight)
+        self._jobs[self._next_id] = job
+        self._next_id += 1
+        self._reschedule()
+        return done
+
+    # -- internals --------------------------------------------------------
+    def _total_weight(self) -> float:
+        return sum(job.weight for job in self._jobs.values())
+
+    def _rate(self, job: Job, total_weight: float) -> float:
+        """Service rate for ``job`` given the current mix."""
+        if total_weight <= 0:
+            return 0.0
+        return min(1.0, self.ncpus / total_weight) * job.weight
+
+    def _advance(self) -> None:
+        """Progress all running jobs up to ``sim.now``."""
+        now = self.sim.now
+        dt = now - self._last_advance
+        self._last_advance = now
+        if dt <= 0 or not self._jobs:
+            return
+        total_weight = self._total_weight()
+        served = 0.0
+        finished = []
+        for jid, job in self._jobs.items():
+            progress = dt * self._rate(job, total_weight)
+            progress = min(progress, job.remaining)
+            job.remaining -= progress
+            served += progress
+            if job.remaining <= _EPS:
+                finished.append(jid)
+        self.busy_time += served
+        self.total_demand_served += served
+        for jid in finished:
+            job = self._jobs.pop(jid)
+            job.done.succeed(now - job.start_time)
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest projected completion."""
+        self._version += 1
+        if not self._jobs:
+            return
+        total_weight = self._total_weight()
+        next_completion = min(
+            job.remaining / self._rate(job, total_weight)
+            for job in self._jobs.values()
+        )
+        version = self._version
+        timeout = self.sim.timeout(next_completion)
+        timeout.callbacks.append(lambda _evt: self._on_wakeup(version))
+
+    def _on_wakeup(self, version: int) -> None:
+        if version != self._version:
+            return  # stale: the job mix changed since this was scheduled
+        self._advance()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return f"<ProcessorSharing {self.name!r} ncpus={self.ncpus} load={self.load}>"

@@ -1,0 +1,57 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of an experiment draws from its own named
+substream, so adding a new component (or reordering draws inside one) never
+perturbs the others — the standard variance-reduction discipline for
+simulation studies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+def _substream_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit seed for ``name`` from the experiment root seed."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStreams:
+    """A factory of independent named RNG streams rooted at one seed.
+
+    ``stream(name)`` returns a ``random.Random`` (cheap scalar draws inside
+    the event loop); ``numpy_stream(name)`` returns a ``numpy.random
+    .Generator`` for vectorised workload synthesis.  Repeated calls with the
+    same name return the same object.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+        self._np_streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        if name not in self._streams:
+            self._streams[name] = random.Random(_substream_seed(self.seed, name))
+        return self._streams[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        if name not in self._np_streams:
+            self._np_streams[name] = np.random.default_rng(
+                _substream_seed(self.seed, "np:" + name)
+            )
+        return self._np_streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are independent of the parent's."""
+        return RandomStreams(_substream_seed(self.seed, "spawn:" + name))
+
+    def __repr__(self) -> str:
+        return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"

@@ -1,0 +1,78 @@
+"""Human-readable summaries of workload traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .request import RequestKind
+from .traces import Trace
+
+__all__ = ["TraceSummary", "describe_trace", "render_trace_summary"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    name: str
+    total: int
+    cgi: int
+    files: int
+    unique: int
+    repeats: int
+    uncacheable: int
+    total_service_time: float
+    mean_cgi_time: float
+    max_cgi_time: float
+    total_bytes: int
+    top_urls: Tuple[Tuple[str, int], ...]
+
+    @property
+    def cgi_fraction(self) -> float:
+        return self.cgi / self.total if self.total else 0.0
+
+    @property
+    def max_possible_hit_ratio(self) -> float:
+        return self.repeats / self.total if self.total else 0.0
+
+
+def describe_trace(trace: Trace, top_k: int = 5) -> TraceSummary:
+    cgi = trace.cgi_only()
+    counts = trace.url_counts()
+    top = tuple(
+        sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+    )
+    return TraceSummary(
+        name=trace.name,
+        total=len(trace),
+        cgi=len(cgi),
+        files=sum(1 for r in trace if r.kind is RequestKind.FILE),
+        unique=trace.unique_count,
+        repeats=trace.repeat_count,
+        uncacheable=sum(1 for r in trace if r.is_cgi and not r.cacheable),
+        total_service_time=trace.total_service_time(),
+        mean_cgi_time=cgi.mean_cpu_time(),
+        max_cgi_time=max((r.cpu_time for r in cgi), default=0.0),
+        total_bytes=sum(r.response_size for r in trace),
+        top_urls=top,
+    )
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    lines = [
+        f"trace {summary.name!r}:",
+        f"  requests:        {summary.total:,} "
+        f"({summary.cgi:,} CGI = {summary.cgi_fraction:.1%}, "
+        f"{summary.files:,} files)",
+        f"  unique URLs:     {summary.unique:,} "
+        f"({summary.repeats:,} repeats -> max hit ratio "
+        f"{summary.max_possible_hit_ratio:.1%})",
+        f"  uncacheable CGI: {summary.uncacheable:,}",
+        f"  service time:    {summary.total_service_time:,.1f}s total, "
+        f"mean CGI {summary.mean_cgi_time:.3f}s, "
+        f"max CGI {summary.max_cgi_time:.2f}s",
+        f"  response bytes:  {summary.total_bytes:,}",
+        "  hottest URLs:",
+    ]
+    for url, count in summary.top_urls:
+        lines.append(f"    {count:6d}x {url}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Trace serialization: JSON-lines save/load for reproducible workloads."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .request import Request, RequestKind
+from .traces import Trace
+
+__all__ = ["save_trace", "load_trace", "trace_to_jsonl", "trace_from_jsonl"]
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """One JSON object per request; the trace name rides in a header line."""
+    lines = [json.dumps({"_trace": trace.name, "n": len(trace)})]
+    for r in trace:
+        lines.append(
+            json.dumps(
+                {
+                    "url": r.url,
+                    "kind": r.kind.value,
+                    "size": r.response_size,
+                    "cpu": r.cpu_time,
+                    "cacheable": r.cacheable,
+                },
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> Trace:
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        return Trace([], name="")
+    header = json.loads(lines[0])
+    if "_trace" not in header:
+        raise ValueError("missing trace header line")
+    requests = []
+    for line in lines[1:]:
+        obj = json.loads(line)
+        requests.append(
+            Request(
+                url=obj["url"],
+                kind=RequestKind(obj["kind"]),
+                response_size=obj["size"],
+                cpu_time=obj["cpu"],
+                cacheable=obj["cacheable"],
+            )
+        )
+    declared = header.get("n")
+    if declared is not None and declared != len(requests):
+        raise ValueError(
+            f"truncated trace: header says {declared}, found {len(requests)}"
+        )
+    return Trace(requests, name=header["_trace"])
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    Path(path).write_text(trace_to_jsonl(trace))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    return trace_from_jsonl(Path(path).read_text())

@@ -1,0 +1,140 @@
+"""Temporal-locality analysis: LRU stack distances.
+
+The paper's Fig. 4 workload "contains the same number of repeats and the
+same amount of temporal locality as the original log".  Repeats are easy
+to count; *temporal locality* is classically quantified by the LRU stack
+distance of each reference — the number of distinct URLs touched since the
+previous reference to the same URL.  Small distances = strong locality =
+small caches suffice (stack distance < cache size  <=>  LRU hit).
+
+The computation uses the standard O(n log n) algorithm: a Fenwick tree
+marks the positions of each URL's most recent reference; the stack
+distance of a new reference to ``u`` is the number of marked positions
+after ``u``'s previous reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .traces import Trace
+
+__all__ = ["FenwickTree", "stack_distances", "LocalityProfile", "locality_profile"]
+
+
+class FenwickTree:
+    """Binary indexed tree over ``[0, n)`` supporting point add + prefix sum."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"size must be >= 0, got {n}")
+        self.n = n
+        self._tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int = 1) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"index {i} out of range [0, {self.n})")
+        i += 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum over ``[0, i)``."""
+        if i <= 0:
+            return 0
+        i = min(i, self.n)
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum over ``[lo, hi)``."""
+        return self.prefix_sum(hi) - self.prefix_sum(lo)
+
+
+def stack_distances(trace: Trace) -> List[Optional[int]]:
+    """Per-reference LRU stack distance; ``None`` for first references.
+
+    A distance of 0 means the immediately-preceding *distinct* URL touched
+    was this same URL (re-reference with nothing in between).
+    """
+    n = len(trace)
+    tree = FenwickTree(n)
+    last_pos: Dict[str, int] = {}
+    out: List[Optional[int]] = []
+    for i, request in enumerate(trace):
+        url = request.url
+        prev = last_pos.get(url)
+        if prev is None:
+            out.append(None)
+        else:
+            # Count distinct URLs referenced in (prev, i): exactly the
+            # marked most-recent positions in that interval.
+            out.append(tree.range_sum(prev + 1, i))
+            tree.add(prev, -1)
+        tree.add(i, +1)
+        last_pos[url] = i
+    return out
+
+
+@dataclass(frozen=True)
+class LocalityProfile:
+    """Summary of a trace's reuse behaviour."""
+
+    references: int
+    repeats: int
+    median_distance: float
+    p90_distance: float
+    mean_distance: float
+    #: Fraction of repeats with stack distance < the given cache sizes —
+    #: i.e. the LRU hit ratio a single cache of that size would achieve.
+    hit_ratio_at: Tuple[Tuple[int, float], ...]
+
+    def hit_ratio_for(self, cache_size: int) -> Optional[float]:
+        for size, ratio in self.hit_ratio_at:
+            if size == cache_size:
+                return ratio
+        return None
+
+
+def locality_profile(
+    trace: Trace, cache_sizes: Sequence[int] = (8, 64, 512)
+) -> LocalityProfile:
+    """Quantify temporal locality (and implied single-LRU hit ratios)."""
+    distances = [d for d in stack_distances(trace) if d is not None]
+    if not distances:
+        return LocalityProfile(
+            references=len(trace), repeats=0, median_distance=math.nan,
+            p90_distance=math.nan, mean_distance=math.nan,
+            hit_ratio_at=tuple((s, 0.0) for s in cache_sizes),
+        )
+    ordered = sorted(distances)
+
+    def percentile(q: float) -> float:
+        pos = (q / 100) * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    total_refs = len(trace)
+    hit_ratios = tuple(
+        (
+            size,
+            sum(1 for d in distances if d < size) / total_refs,
+        )
+        for size in cache_sizes
+    )
+    return LocalityProfile(
+        references=total_refs,
+        repeats=len(distances),
+        median_distance=percentile(50),
+        p90_distance=percentile(90),
+        mean_distance=sum(distances) / len(distances),
+        hit_ratio_at=hit_ratios,
+    )

@@ -1,0 +1,120 @@
+"""Ingesting real web-server access logs (Common Log Format).
+
+The paper's §3 methodology applied to logs you actually have: parse CLF
+lines, filter out HEAD/POST and illegal requests exactly as the authors
+did, classify dynamic requests, attach execution times (from an extended
+log field if present, else an estimator), and hand back a
+:class:`~repro.workload.Trace` ready for ``analyze_caching_potential`` or
+cluster replay.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from .request import Request
+from .traces import Trace
+
+__all__ = [
+    "ClfRecord",
+    "ClfParseError",
+    "parse_clf_line",
+    "load_clf",
+    "default_cgi_classifier",
+]
+
+# host ident user [timestamp] "METHOD /path PROTO" status bytes [duration]
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<user>\S+)\s+'
+    r'\[(?P<time>[^\]]+)\]\s+'
+    r'"(?P<method>[A-Z]+)\s+(?P<path>\S+)(?:\s+(?P<proto>[^"]*))?"\s+'
+    r'(?P<status>\d{3})\s+(?P<bytes>\d+|-)'
+    r'(?:\s+(?P<duration>[0-9.]+))?\s*$'
+)
+
+
+class ClfParseError(ValueError):
+    """A line that is not valid Common Log Format."""
+
+
+@dataclass(frozen=True)
+class ClfRecord:
+    host: str
+    timestamp: str
+    method: str
+    path: str
+    status: int
+    nbytes: int
+    #: Optional extended-log service time in seconds (e.g. %T/%D-derived).
+    duration: Optional[float] = None
+
+
+def parse_clf_line(line: str) -> ClfRecord:
+    """Parse one CLF (optionally duration-extended) line."""
+    match = _CLF_RE.match(line.strip())
+    if not match:
+        raise ClfParseError(f"not a CLF line: {line!r}")
+    nbytes = match["bytes"]
+    duration = match["duration"]
+    return ClfRecord(
+        host=match["host"],
+        timestamp=match["time"],
+        method=match["method"],
+        path=match["path"],
+        status=int(match["status"]),
+        nbytes=0 if nbytes == "-" else int(nbytes),
+        duration=float(duration) if duration is not None else None,
+    )
+
+
+def default_cgi_classifier(path: str) -> bool:
+    """The usual markers of a dynamic request in 1990s logs."""
+    return "/cgi-bin/" in path or path.endswith(".cgi") or "?" in path
+
+
+def load_clf(
+    lines: Iterable[str],
+    cgi_classifier: Callable[[str], bool] = default_cgi_classifier,
+    default_cgi_time: float = 1.6,
+    cgi_time_estimator: Optional[Callable[[ClfRecord], float]] = None,
+    keep_statuses: range = range(200, 400),
+    name: str = "clf",
+) -> Trace:
+    """Build a trace from CLF lines using the paper's filtering rules.
+
+    * only GET requests are kept (the paper drops HEAD and POST);
+    * illegal/failed requests (status outside ``keep_statuses``) and
+      unparseable lines are dropped, as the paper removed them;
+    * dynamic requests get their execution time from the log's duration
+      field when present, else from ``cgi_time_estimator`` /
+      ``default_cgi_time`` (the paper re-measured by re-sending; a plain
+      trace file cannot, so the default is the paper's mean CGI time).
+    """
+    requests: List[Request] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = parse_clf_line(line)
+        except ClfParseError:
+            continue  # "illegal requests have been removed"
+        if record.method != "GET":
+            continue
+        if record.status not in keep_statuses:
+            continue
+        if cgi_classifier(record.path):
+            if record.duration is not None:
+                cpu = record.duration
+            elif cgi_time_estimator is not None:
+                cpu = cgi_time_estimator(record)
+            else:
+                cpu = default_cgi_time
+            requests.append(
+                Request.cgi(record.path, cpu_time=cpu,
+                            response_size=max(record.nbytes, 1))
+            )
+        else:
+            requests.append(Request.file(record.path, size=record.nbytes))
+    return Trace(requests, name=name)

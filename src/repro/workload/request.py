@@ -1,0 +1,75 @@
+"""HTTP request model shared by all servers and workload generators."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["RequestKind", "Request"]
+
+
+class RequestKind(enum.Enum):
+    """Static file fetch vs. dynamic (CGI) request."""
+
+    FILE = "file"
+    CGI = "cgi"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP GET.
+
+    ``url`` is the caching identity: two requests with equal URLs (script +
+    full query string) produce identical output and may share a cache entry,
+    exactly as Swala keys its directory.
+
+    For CGI requests, ``cpu_time`` is the script body's CPU demand in
+    seconds (excluding the fork/exec cost the server model charges) and
+    ``response_size`` the generated output size.  For files, ``cpu_time`` is
+    zero and ``response_size`` is the file size.
+    """
+
+    url: str
+    kind: RequestKind
+    response_size: int
+    cpu_time: float = 0.0
+    #: False for e.g. per-user/authenticated scripts (Swala's config file
+    #: marks these; they are executed but never cached).
+    cacheable: bool = True
+
+    def __post_init__(self):
+        if self.response_size < 0:
+            raise ValueError(f"negative response size for {self.url!r}")
+        if self.cpu_time < 0:
+            raise ValueError(f"negative cpu time for {self.url!r}")
+        if self.kind is RequestKind.FILE and self.cpu_time:
+            raise ValueError(f"file request {self.url!r} cannot have cpu_time")
+
+    @property
+    def is_cgi(self) -> bool:
+        return self.kind is RequestKind.CGI
+
+    @staticmethod
+    def file(url: str, size: int) -> "Request":
+        return Request(url=url, kind=RequestKind.FILE, response_size=size)
+
+    @staticmethod
+    def cgi(
+        url: str, cpu_time: float, response_size: int, cacheable: bool = True
+    ) -> "Request":
+        return Request(
+            url=url,
+            kind=RequestKind.CGI,
+            response_size=response_size,
+            cpu_time=cpu_time,
+            cacheable=cacheable,
+        )
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """A request stamped with its (relative) arrival time in a trace."""
+
+    time: float
+    request: Request

@@ -1,0 +1,63 @@
+"""Unit tests for cache entry metadata."""
+
+import math
+
+import pytest
+
+from repro.cache import CacheEntry
+
+
+def make_entry(**kw):
+    defaults = dict(url="/c?q=1", owner="n0", size=100, exec_time=1.0, created=10.0)
+    defaults.update(kw)
+    return CacheEntry(**defaults)
+
+
+class TestCacheEntry:
+    def test_defaults(self):
+        e = make_entry()
+        assert e.ttl == math.inf
+        assert e.access_count == 0
+        assert e.last_access == e.created
+        assert e.file_path.startswith("/cache/")
+
+    def test_expiry(self):
+        e = make_entry(ttl=5.0)
+        assert e.expires_at == 15.0
+        assert not e.expired(14.9)
+        assert e.expired(15.0)
+
+    def test_infinite_ttl_never_expires(self):
+        e = make_entry()
+        assert not e.expired(1e12)
+
+    def test_touch(self):
+        e = make_entry()
+        e.touch(20.0)
+        e.touch(25.0)
+        assert e.access_count == 2
+        assert e.last_access == 25.0
+
+    def test_replica_is_equal_but_distinct(self):
+        e = make_entry()
+        e.touch(12.0)
+        r = e.replica()
+        assert r is not e
+        assert r.url == e.url
+        assert r.access_count == e.access_count
+        assert r.file_path == e.file_path
+        r.touch(30.0)
+        assert e.access_count == 1  # replica mutation does not leak back
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_entry(size=-1)
+        with pytest.raises(ValueError):
+            make_entry(exec_time=-1)
+        with pytest.raises(ValueError):
+            make_entry(ttl=0)
+
+    def test_distinct_owners_get_distinct_files(self):
+        a = make_entry(owner="n0")
+        b = make_entry(owner="n1")
+        assert a.file_path != b.file_path

@@ -1,0 +1,153 @@
+"""Unit tests for the CacheStore."""
+
+import pytest
+
+from repro.cache import CacheEntry, CacheStore
+from repro.hosts import Machine
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fs():
+    return Machine(Simulator(), "n0").fs
+
+
+def entry(url, size=100, exec_time=1.0, created=0.0, ttl=float("inf")):
+    return CacheEntry(
+        url=url, owner="n0", size=size, exec_time=exec_time, created=created, ttl=ttl
+    )
+
+
+class TestInsertLookup:
+    def test_insert_and_get(self, fs):
+        store = CacheStore(fs, capacity=10, owner="n0")
+        e = entry("/a")
+        assert store.insert(e, 0.0) == []
+        assert store.get("/a") is e
+        assert "/a" in store
+        assert len(store) == 1
+
+    def test_result_file_created_and_warm(self, fs):
+        store = CacheStore(fs, capacity=10, owner="n0")
+        e = entry("/a", size=16_000)
+        store.insert(e, 0.0)
+        assert fs.exists(e.file_path)
+        assert fs.cached_fraction(e.file_path) == 1.0
+
+    def test_get_missing_returns_none(self, fs):
+        store = CacheStore(fs, capacity=10)
+        assert store.get("/nope") is None
+
+    def test_capacity_validation(self, fs):
+        with pytest.raises(ValueError):
+            CacheStore(fs, capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, fs):
+        store = CacheStore(fs, capacity=2, policy="lru")
+        a, b, c = entry("/a"), entry("/b"), entry("/c")
+        store.insert(a, 0.0)
+        store.insert(b, 1.0)
+        evicted = store.insert(c, 2.0)
+        assert evicted == [a]
+        assert store.get("/a") is None
+        assert len(store) == 2
+        assert store.evictions == 1
+
+    def test_eviction_unlinks_file(self, fs):
+        store = CacheStore(fs, capacity=1)
+        a, b = entry("/a"), entry("/b")
+        store.insert(a, 0.0)
+        store.insert(b, 1.0)
+        assert not fs.exists(a.file_path)
+        assert fs.exists(b.file_path)
+
+    def test_access_protects_from_lru_eviction(self, fs):
+        store = CacheStore(fs, capacity=2, policy="lru")
+        store.insert(entry("/a"), 0.0)
+        store.insert(entry("/b"), 1.0)
+        store.record_access("/a", 2.0)
+        evicted = store.insert(entry("/c"), 3.0)
+        assert [e.url for e in evicted] == ["/b"]
+
+    def test_reinsert_same_url_replaces(self, fs):
+        store = CacheStore(fs, capacity=2)
+        store.insert(entry("/a", size=10), 0.0)
+        evicted = store.insert(entry("/a", size=20), 1.0)
+        assert evicted == []
+        assert store.get("/a").size == 20
+        assert len(store) == 1
+
+    def test_never_exceeds_capacity(self, fs):
+        store = CacheStore(fs, capacity=3)
+        for i in range(20):
+            store.insert(entry(f"/{i}"), float(i))
+            assert len(store) <= 3
+
+
+class TestAccessStats:
+    def test_record_access_touches(self, fs):
+        store = CacheStore(fs, capacity=5)
+        store.insert(entry("/a"), 0.0)
+        store.record_access("/a", 7.0)
+        e = store.get("/a")
+        assert e.access_count == 1
+        assert e.last_access == 7.0
+
+    def test_record_access_missing_raises(self, fs):
+        store = CacheStore(fs, capacity=5)
+        with pytest.raises(KeyError):
+            store.record_access("/nope", 0.0)
+
+
+class TestRemovalAndExpiry:
+    def test_remove(self, fs):
+        store = CacheStore(fs, capacity=5)
+        e = entry("/a")
+        store.insert(e, 0.0)
+        assert store.remove("/a") is e
+        assert store.get("/a") is None
+        assert not fs.exists(e.file_path)
+
+    def test_remove_missing_returns_none(self, fs):
+        store = CacheStore(fs, capacity=5)
+        assert store.remove("/nope") is None
+
+    def test_purge_expired(self, fs):
+        store = CacheStore(fs, capacity=5)
+        store.insert(entry("/short", ttl=5.0, created=0.0), 0.0)
+        store.insert(entry("/long", ttl=100.0, created=0.0), 0.0)
+        purged = store.purge_expired(10.0)
+        assert [e.url for e in purged] == ["/short"]
+        assert store.get("/short") is None
+        assert store.get("/long") is not None
+        assert store.expirations == 1
+
+    def test_expired_entries_listing(self, fs):
+        store = CacheStore(fs, capacity=5)
+        store.insert(entry("/a", ttl=1.0), 0.0)
+        assert [e.url for e in store.expired_entries(2.0)] == ["/a"]
+        assert len(store) == 1  # listing does not purge
+
+    def test_full_flag(self, fs):
+        store = CacheStore(fs, capacity=1)
+        assert not store.full
+        store.insert(entry("/a"), 0.0)
+        assert store.full
+
+
+class TestPolicyIntegration:
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "size", "cost", "gds", "fifo"])
+    def test_all_policies_work_under_churn(self, fs, policy):
+        store = CacheStore(fs, capacity=4, policy=policy)
+        for i in range(40):
+            store.insert(entry(f"/{i}", size=10 + i, exec_time=0.1 * (i + 1),
+                               created=float(i)), float(i))
+            if i % 3 == 0:
+                url = f"/{i}"
+                if url in store:
+                    store.record_access(url, float(i))
+        assert len(store) == 4
+        # policy bookkeeping must agree with the store
+        assert len(store.policy) == 4

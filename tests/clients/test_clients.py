@@ -1,0 +1,132 @@
+"""Tests for the closed-loop client model."""
+
+import pytest
+
+from repro.clients import ClientFleet, ClientThread
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import Request, Trace
+
+
+def build_server(sim, net, name="srv"):
+    machine = Machine(sim, name)
+    server = SwalaServer(
+        sim, machine, net, [name], SwalaConfig(mode=CacheMode.NONE), name=name
+    )
+    server.start()
+    return server
+
+
+CGI = Request.cgi("/cgi-bin/a", 0.1, 1_000)
+
+
+class TestClientThread:
+    def test_closed_loop_one_outstanding(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        t = ClientThread(sim, net, "cl", "srv", [CGI] * 3)
+        sim.run(until=t.start())
+        assert t.response_times.count == 3
+        assert len(t.responses) == 3
+
+    def test_response_times_positive_and_ordered(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        t = ClientThread(sim, net, "cl", "srv", [CGI] * 2)
+        sim.run(until=t.start())
+        assert all(rt > 0 for rt in t.response_times.samples)
+
+    def test_think_time_spaces_requests(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        fast = Request.cgi("/cgi-bin/f", 0.01, 100)
+        t = ClientThread(sim, net, "cl", "srv", [fast] * 3, think_time=10.0)
+        sim.run(until=t.start())
+        assert sim.now >= 30.0
+
+    def test_negative_think_time_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            ClientThread(sim, net, "cl", "srv", [], think_time=-1)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        t = ClientThread(sim, net, "cl", "srv", [CGI])
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_done_before_start_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        t = ClientThread(sim, net, "cl", "srv", [])
+        with pytest.raises(RuntimeError):
+            t.done
+
+    def test_empty_request_list_finishes_immediately(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        t = ClientThread(sim, net, "cl", "srv", [])
+        sim.run(until=t.start())
+        assert t.response_times.count == 0
+
+
+class TestClientFleet:
+    def test_trace_dealt_over_threads(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        reqs = [Request.cgi(f"/cgi-bin/{i}", 0.01, 100) for i in range(10)]
+        fleet = ClientFleet(sim, net, Trace(reqs), servers=["srv"], n_threads=3)
+        assert sum(len(t.requests) for t in fleet.threads) == 10
+        times = fleet.run()
+        assert times.count == 10
+
+    def test_threads_pinned_round_robin_to_servers(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net, "s0")
+        build_server(sim, net, "s1")
+        reqs = [CGI] * 4
+        fleet = ClientFleet(
+            sim, net, Trace(reqs), servers=["s0", "s1"], n_threads=4
+        )
+        assert [t.server for t in fleet.threads] == ["s0", "s1", "s0", "s1"]
+
+    def test_hosts_shared_by_threads(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        fleet = ClientFleet(
+            sim, net, Trace([CGI] * 6), servers=["srv"], n_threads=6, n_hosts=2
+        )
+        hosts = {t.host for t in fleet.threads}
+        assert len(hosts) == 2
+
+    def test_merged_tally(self):
+        sim = Simulator()
+        net = Network(sim)
+        build_server(sim, net)
+        fleet = ClientFleet(sim, net, Trace([CGI] * 4), servers=["srv"], n_threads=2)
+        merged = fleet.run()
+        assert merged.count == 4
+        assert len(fleet.responses()) == 4
+
+    def test_validation(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            ClientFleet(sim, net, Trace([]), servers=["srv"], n_threads=0)
+        with pytest.raises(ValueError):
+            ClientFleet(sim, net, Trace([]), servers=[], n_threads=1)
+        with pytest.raises(ValueError):
+            ClientFleet(sim, net, Trace([]), servers=["srv"], n_threads=1, n_hosts=0)

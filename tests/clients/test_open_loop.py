@@ -1,0 +1,123 @@
+"""Tests for open-loop (arrival-driven) request sources."""
+
+import pytest
+
+from repro.clients import OpenLoopSource, poisson_timed_trace
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.sim import Simulator
+from repro.workload import Request, TimedRequest, Trace, zipf_cgi_trace
+
+
+def build_cluster(n=1, mode=CacheMode.STANDALONE):
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n, SwalaConfig(mode=mode))
+    cluster.start()
+    return sim, cluster
+
+
+def timed(pairs):
+    return [
+        TimedRequest(time=t, request=Request.cgi(url, 0.1, 100))
+        for t, url in pairs
+    ]
+
+
+class TestPoissonStamping:
+    def test_times_strictly_increasing(self):
+        trace = zipf_cgi_trace(50, 10, seed=0)
+        stamped = poisson_timed_trace(trace, rate=5.0, seed=1)
+        times = [tr.time for tr in stamped]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert len(stamped) == 50
+
+    def test_mean_interarrival_near_rate(self):
+        trace = zipf_cgi_trace(2_000, 10, seed=0)
+        stamped = poisson_timed_trace(trace, rate=10.0, seed=1)
+        assert stamped[-1].time / len(stamped) == pytest.approx(0.1, rel=0.1)
+
+    def test_deterministic(self):
+        trace = zipf_cgi_trace(20, 5, seed=0)
+        a = poisson_timed_trace(trace, 3.0, seed=7)
+        b = poisson_timed_trace(trace, 3.0, seed=7)
+        assert [x.time for x in a] == [x.time for x in b]
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_timed_trace(Trace([]), rate=0.0)
+
+
+class TestOpenLoopSource:
+    def test_requests_fire_at_their_timestamps(self):
+        sim, cluster = build_cluster()
+        reqs = timed([(1.0, "/cgi-bin/a"), (5.0, "/cgi-bin/b")])
+        src = OpenLoopSource(
+            sim, cluster.network, "gen", cluster.node_names, reqs
+        )
+        sim.run(until=src.start())
+        assert src.response_times.count == 2
+        # First request left at t=1.0; with a lightly loaded server the
+        # response came back well before t=5.
+        assert src.responses[0].sent_at == pytest.approx(1.0)
+
+    def test_does_not_wait_for_responses(self):
+        # Two arrivals 1 ms apart with a 1 s CGI: both must be in flight
+        # concurrently (closed loop would serialize them).
+        sim, cluster = build_cluster()
+        slow = [
+            TimedRequest(0.0, Request.cgi("/cgi-bin/s1", 1.0, 100)),
+            TimedRequest(0.001, Request.cgi("/cgi-bin/s2", 1.0, 100)),
+        ]
+        src = OpenLoopSource(sim, cluster.network, "gen", cluster.node_names, slow)
+        sim.run(until=src.start())
+        # Under processor sharing, two concurrent 1 s jobs finish ~t=2;
+        # serialized they'd finish at ~1 and ~2.  Both response times ~2s.
+        assert min(src.response_times.samples) > 1.5
+
+    def test_latency_exact_under_reordering(self):
+        sim, cluster = build_cluster()
+        reqs = [
+            TimedRequest(0.0, Request.cgi("/cgi-bin/long", 2.0, 100)),
+            TimedRequest(0.5, Request.cgi("/cgi-bin/short", 0.01, 100)),
+        ]
+        src = OpenLoopSource(sim, cluster.network, "gen", cluster.node_names, reqs)
+        sim.run(until=src.start())
+        by_url = {r.request.url: r for r in src.responses}
+        assert by_url["/cgi-bin/short"].sent_at == pytest.approx(0.5)
+
+    def test_spraying_across_servers(self):
+        sim, cluster = build_cluster(n=2)
+        reqs = timed([(0.1 * i, f"/cgi-bin/u{i}") for i in range(6)])
+        src = OpenLoopSource(
+            sim, cluster.network, "gen", cluster.node_names, reqs
+        )
+        sim.run(until=src.start())
+        served = [s.stats.requests for s in cluster.servers]
+        assert served == [3, 3]
+
+    def test_unsorted_rejected(self):
+        sim, cluster = build_cluster()
+        reqs = timed([(5.0, "/a"), (1.0, "/b")])
+        with pytest.raises(ValueError):
+            OpenLoopSource(sim, cluster.network, "g", cluster.node_names, reqs)
+
+    def test_double_start_rejected(self):
+        sim, cluster = build_cluster()
+        src = OpenLoopSource(sim, cluster.network, "g", cluster.node_names, [])
+        src.start()
+        with pytest.raises(RuntimeError):
+            src.start()
+
+    def test_open_loop_overload_grows_latency(self):
+        """Arrivals faster than service capacity -> queueing blow-up, which
+        a closed-loop client can never produce."""
+        sim, cluster = build_cluster()
+        trace = Trace([Request.cgi(f"/cgi-bin/{i}", 0.5, 100) for i in range(30)])
+        stamped = poisson_timed_trace(trace, rate=4.0, seed=3)  # rho = 2
+        src = OpenLoopSource(
+            sim, cluster.network, "gen", cluster.node_names, stamped
+        )
+        sim.run(until=src.start())
+        # Later requests wait far longer than early ones.
+        early = src.response_times.samples[0]
+        late = max(src.response_times.samples)
+        assert late > 3 * early

@@ -1,0 +1,92 @@
+"""Tests for the WebStone-style duration-driven benchmark runner."""
+
+import pytest
+
+from repro.clients import WebStoneRun
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def build_server():
+    sim = Simulator()
+    net = Network(sim)
+    machine = Machine(sim, "srv")
+    server = SwalaServer(
+        sim, machine, net, ["srv"], SwalaConfig(mode=CacheMode.NONE), name="srv"
+    )
+    server.start()
+    return sim, net, server
+
+
+class TestWebStoneRun:
+    def test_measurement_window_only(self):
+        sim, net, srv = build_server()
+        run = WebStoneRun(sim, net, "srv", n_clients=4, warmup=1.0, duration=5.0)
+        report = run.run(install_files_on=srv)
+        # The server handled more connections than were measured (warm-up
+        # requests are excluded).
+        assert srv.stats.requests > report.connections
+        assert report.connections > 0
+        assert report.latency.count == report.connections
+
+    def test_throughput_and_rate_derivations(self):
+        sim, net, srv = build_server()
+        run = WebStoneRun(sim, net, "srv", n_clients=4, warmup=0.5, duration=4.0)
+        report = run.run(install_files_on=srv)
+        assert report.connection_rate == pytest.approx(
+            report.connections / 4.0
+        )
+        assert report.throughput_mbit == pytest.approx(
+            report.total_bytes * 8 / 1e6 / 4.0
+        )
+
+    def test_per_class_latency_increases_with_size(self):
+        sim, net, srv = build_server()
+        run = WebStoneRun(sim, net, "srv", n_clients=8, warmup=0.5,
+                          duration=10.0)
+        report = run.run(install_files_on=srv)
+        small = report.per_class[500].mean
+        big_sizes = [s for s in report.per_class if s >= 50 * 1024]
+        assert big_sizes, "mix produced no large files in this window"
+        assert all(report.per_class[s].mean > small for s in big_sizes)
+
+    def test_more_clients_more_throughput_until_saturation(self):
+        def rate(n_clients):
+            sim, net, srv = build_server()
+            run = WebStoneRun(sim, net, "srv", n_clients=n_clients,
+                              warmup=0.5, duration=5.0)
+            return run.run(install_files_on=srv).connection_rate
+
+        one, eight = rate(1), rate(8)
+        # A single closed-loop client leaves the pipeline idle between its
+        # requests; a population saturates it.  The file path is only a few
+        # ms, so saturation arrives early — the gain is real but modest.
+        assert eight > one * 1.1
+
+    def test_deterministic(self):
+        def connections():
+            sim, net, srv = build_server()
+            run = WebStoneRun(sim, net, "srv", n_clients=4, warmup=0.5,
+                              duration=3.0, seed=9)
+            return run.run(install_files_on=srv).connections
+
+        assert connections() == connections()
+
+    def test_summary_renders(self):
+        sim, net, srv = build_server()
+        run = WebStoneRun(sim, net, "srv", n_clients=2, warmup=0.2, duration=2.0)
+        report = run.run(install_files_on=srv)
+        text = report.summary()
+        assert "conn/s" in text
+        assert "Mbit/s" in text
+
+    def test_validation(self):
+        sim, net, srv = build_server()
+        with pytest.raises(ValueError):
+            WebStoneRun(sim, net, "srv", n_clients=0)
+        with pytest.raises(ValueError):
+            WebStoneRun(sim, net, "srv", n_clients=1, duration=0)
+        with pytest.raises(ValueError):
+            WebStoneRun(sim, net, "srv", n_clients=1, warmup=-1)

@@ -1,0 +1,169 @@
+"""Unit-level tests for CacherModule internals (integration paths are
+covered by the server/cooperative suites)."""
+
+import pytest
+
+from repro.core import CacheMode, NodeStats, SwalaConfig
+from repro.core.cacher import FETCH_PORT, UPDATE_PORT, CacherModule
+from repro.hosts import Machine
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import Request
+
+
+def build_cacher(n_nodes=2, **config_kw):
+    sim = Simulator()
+    net = Network(sim)
+    machine = Machine(sim, "n0")
+    config_kw.setdefault("mode", CacheMode.COOPERATIVE)
+    config = SwalaConfig(**config_kw)
+    stats = NodeStats(node="n0")
+    names = [f"n{i}" for i in range(n_nodes)]
+    cacher = CacherModule(sim, machine, net, "n0", names, config, stats)
+    # Peers are not instantiated in these unit tests; open their update
+    # ports so broadcasts are routable.
+    for name in names[1:]:
+        net.register(name, UPDATE_PORT)
+    return sim, net, cacher
+
+
+def drive(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+CGI = Request.cgi("/cgi-bin/x", 1.0, 2_000)
+
+
+class TestClassify:
+    def test_cacheable_cgi(self):
+        _, _, cacher = build_cacher()
+        assert cacher.classify(CGI)
+
+    def test_file_not_cacheable(self):
+        _, _, cacher = build_cacher()
+        assert not cacher.classify(Request.file("/f", 10))
+
+    def test_mode_none_disables(self):
+        _, _, cacher = build_cacher(mode=CacheMode.NONE)
+        assert not cacher.classify(CGI)
+
+
+class TestShouldCache:
+    def test_threshold_and_size(self):
+        _, _, cacher = build_cacher(min_exec_time=0.5, max_entry_size=10_000)
+        assert cacher.should_cache_result(CGI, 1.0, ok=True)
+        assert not cacher.should_cache_result(CGI, 0.4, ok=True)
+        assert not cacher.should_cache_result(CGI, 1.0, ok=False)
+        big = Request.cgi("/cgi-bin/big", 1.0, 50_000)
+        assert not cacher.should_cache_result(big, 1.0, ok=True)
+
+
+class TestInsertResult:
+    def test_insert_updates_store_and_directory(self):
+        sim, _, cacher = build_cacher()
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        assert cacher.store.get(CGI.url) is not None
+        assert CGI.url in cacher.directory.table("n0")
+        assert cacher.stats.inserts == 1
+        # The store entry and the own-table entry are the SAME object.
+        assert cacher.store.get(CGI.url) is cacher.directory.table("n0")[CGI.url]
+
+    def test_insert_broadcasts_to_peers(self):
+        sim, net, cacher = build_cacher(n_nodes=3)
+        peer_boxes = [net.register(f"n{i}", UPDATE_PORT) for i in (1, 2)]
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        sim.run(until=sim.now + 0.1)
+        for box in peer_boxes:
+            assert len(box) == 1
+
+    def test_single_node_cooperative_does_not_broadcast(self):
+        sim, net, cacher = build_cacher(n_nodes=1)
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        assert net.messages_sent == 0
+
+    def test_standalone_does_not_broadcast(self):
+        sim, net, cacher = build_cacher(mode=CacheMode.STANDALONE)
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        assert net.messages_sent == 0
+
+
+class TestRecordHit:
+    def test_touches_entry_and_policy(self):
+        sim, _, cacher = build_cacher()
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        drive(sim, cacher.record_hit(CGI.url))
+        assert cacher.store.get(CGI.url).access_count == 1
+
+    def test_vanished_entry_harmless(self):
+        sim, _, cacher = build_cacher()
+        drive(sim, cacher.record_hit("/cgi-bin/gone"))  # must not raise
+
+
+class TestFetchLocal:
+    def test_hit_returns_entry(self):
+        sim, _, cacher = build_cacher()
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        entry = drive(sim, cacher.fetch_local(CGI.url))
+        assert entry is not None
+        assert entry.access_count == 1
+
+    def test_missing_returns_none(self):
+        sim, _, cacher = build_cacher()
+        assert drive(sim, cacher.fetch_local("/nope")) is None
+
+    def test_expired_returns_none(self):
+        sim, _, cacher = build_cacher(default_ttl=1.0, purge_interval=1e6)
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        sim.run(until=sim.now + 5.0)
+        assert drive(sim, cacher.fetch_local(CGI.url)) is None
+
+
+class TestInProgressBookkeeping:
+    def test_nested_duplicates_counted(self):
+        _, _, cacher = build_cacher()
+        assert cacher.execution_starting("/u") is False
+        assert cacher.execution_starting("/u") is True
+        assert cacher.execution_starting("/u") is True
+        assert cacher.in_progress("/u")
+        cacher.execution_finished("/u")
+        assert cacher.in_progress("/u")  # two still running
+        cacher.execution_finished("/u")
+        cacher.execution_finished("/u")
+        assert not cacher.in_progress("/u")
+
+    def test_wait_without_execution_returns_false(self):
+        sim, _, cacher = build_cacher()
+        assert drive(sim, cacher.wait_for_execution("/u")) is False
+
+    def test_wait_wakes_on_finish(self):
+        sim, _, cacher = build_cacher()
+        cacher.execution_starting("/u")
+        woke = []
+
+        def waiter():
+            waited = yield from cacher.wait_for_execution("/u")
+            woke.append((waited, sim.now))
+
+        def finisher():
+            yield sim.timeout(3.0)
+            cacher.execution_finished("/u")
+
+        done = sim.process(waiter())
+        sim.process(finisher())
+        sim.run(until=done)
+        assert woke == [(True, 3.0)]
+
+
+class TestInvalidateUnit:
+    def test_invalidate_own_entry(self):
+        sim, _, cacher = build_cacher()
+        drive(sim, cacher.insert_result(CGI, exec_time=1.0))
+        drive(sim, cacher.invalidate(CGI.url))
+        assert cacher.store.get(CGI.url) is None
+        assert cacher.stats.invalidated == 1
+
+    def test_invalidate_unknown_no_forward(self):
+        sim, net, cacher = build_cacher()
+        before = net.messages_sent
+        drive(sim, cacher.invalidate("/nope", forward=True))
+        assert net.messages_sent == before  # nothing known, nothing sent

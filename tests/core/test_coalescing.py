@@ -1,0 +1,98 @@
+"""Tests for duplicate-request coalescing (the §4.2 alternative the paper
+chose not to ship — implemented here as a measurable extension)."""
+
+import pytest
+
+from repro.clients import ClientThread
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import Request
+
+SLOW = Request.cgi("/cgi-bin/slow", cpu_time=2.0, response_size=1_000)
+
+
+def build(coalesce):
+    sim = Simulator()
+    net = Network(sim)
+    machine = Machine(sim, "srv")
+    server = SwalaServer(
+        sim, machine, net, ["srv"],
+        SwalaConfig(mode=CacheMode.STANDALONE, coalesce_duplicates=coalesce),
+        name="srv",
+    )
+    server.start()
+    return sim, net, server
+
+
+def fire_concurrent(sim, net, n):
+    threads = [
+        ClientThread(sim, net, f"c{i}", "srv", [SLOW]) for i in range(n)
+    ]
+    done = threads[0].start()
+    for t in threads[1:]:
+        done = done & t.start()
+    sim.run(until=done)
+    return threads
+
+
+class TestCoalescing:
+    def test_duplicates_wait_instead_of_executing(self):
+        sim, net, srv = build(coalesce=True)
+        fire_concurrent(sim, net, 4)
+        assert srv.stats.cgi_executed == 1
+        assert srv.stats.coalesced == 3
+        assert srv.stats.false_misses == 0
+        # The waiters were served from cache after the execution finished.
+        assert srv.stats.local_hits == 3
+
+    def test_paper_default_reexecutes(self):
+        sim, net, srv = build(coalesce=False)
+        fire_concurrent(sim, net, 4)
+        assert srv.stats.cgi_executed == 4
+        assert srv.stats.false_misses == 3
+        assert srv.stats.coalesced == 0
+
+    def test_coalescing_saves_cpu_time(self):
+        def makespan(coalesce):
+            sim, net, srv = build(coalesce)
+            fire_concurrent(sim, net, 4)
+            return sim.now
+
+        # 4 x 2s CGI on one CPU: ~8s without coalescing, ~2s with.
+        assert makespan(True) < makespan(False) / 2.5
+
+    def test_waiters_get_correct_responses(self):
+        sim, net, srv = build(coalesce=True)
+        threads = fire_concurrent(sim, net, 3)
+        for t in threads:
+            assert len(t.responses) == 1
+            assert t.responses[0].request == SLOW
+
+    def test_sequential_requests_unaffected(self):
+        sim, net, srv = build(coalesce=True)
+        t = ClientThread(sim, net, "c", "srv", [SLOW, SLOW])
+        sim.run(until=t.start())
+        assert srv.stats.cgi_executed == 1
+        assert srv.stats.coalesced == 0
+        assert srv.stats.local_hits == 1
+
+    def test_discarded_result_still_wakes_waiters(self):
+        # Execution below the caching threshold: waiters wake, re-miss,
+        # and execute themselves (no hang, no hit).
+        sim = Simulator()
+        net = Network(sim)
+        server = SwalaServer(
+            sim, Machine(sim, "srv"), net, ["srv"],
+            SwalaConfig(mode=CacheMode.STANDALONE, coalesce_duplicates=True,
+                        min_exec_time=10.0),
+            name="srv",
+        )
+        server.start()
+        a = ClientThread(sim, net, "a", "srv", [SLOW])
+        b = ClientThread(sim, net, "b", "srv", [SLOW])
+        sim.run(until=a.start() & b.start())
+        assert server.stats.cgi_executed == 2
+        assert server.stats.inserts == 0
+        assert len(a.responses) == 1 and len(b.responses) == 1

@@ -1,0 +1,54 @@
+"""Unit tests for SwalaConfig."""
+
+import pytest
+
+from repro.core import CacheMode, LockingGranularity, SwalaConfig
+from repro.workload import Request
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = SwalaConfig()
+        assert c.mode is CacheMode.COOPERATIVE
+        assert c.cooperative
+        assert c.caching_enabled
+        assert c.locking is LockingGranularity.TABLE
+
+    def test_none_mode(self):
+        c = SwalaConfig(mode=CacheMode.NONE)
+        assert not c.caching_enabled
+        assert not c.cooperative
+
+    def test_standalone_mode(self):
+        c = SwalaConfig(mode=CacheMode.STANDALONE)
+        assert c.caching_enabled
+        assert not c.cooperative
+
+    def test_is_cacheable_default_rule(self):
+        c = SwalaConfig()
+        assert c.is_cacheable(Request.cgi("/c", 1.0, 10))
+        assert not c.is_cacheable(Request.cgi("/c", 1.0, 10, cacheable=False))
+        assert not c.is_cacheable(Request.file("/f", 10))
+
+    def test_is_cacheable_respects_mode(self):
+        c = SwalaConfig(mode=CacheMode.NONE)
+        assert not c.is_cacheable(Request.cgi("/c", 1.0, 10))
+
+    def test_custom_rule(self):
+        c = SwalaConfig(cacheable_rule=lambda r: r.is_cgi and "map" in r.url)
+        assert c.is_cacheable(Request.cgi("/cgi-bin/map?x=1", 1.0, 10))
+        assert not c.is_cacheable(Request.cgi("/cgi-bin/search", 1.0, 10))
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(cache_capacity=0),
+            dict(min_exec_time=-1),
+            dict(default_ttl=0),
+            dict(purge_interval=0),
+            dict(n_threads=0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            SwalaConfig(**kw)

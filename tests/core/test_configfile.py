@@ -1,0 +1,130 @@
+"""Tests for the Swala startup configuration file (paper §4.1) and per-CGI
+TTL rules (§4.2)."""
+
+import math
+
+import pytest
+
+from repro.clients import ClientThread
+from repro.core import (
+    CacheMode,
+    LockingGranularity,
+    SwalaCluster,
+    SwalaConfig,
+    TtlRules,
+    load_config,
+    make_prefix_rule,
+    parse_config,
+)
+from repro.sim import Simulator
+from repro.workload import Request
+
+FULL_CONFIG = """
+[cache]
+mode = standalone
+capacity = 123
+policy = gds
+min_exec_time = 0.5
+default_ttl = 300
+purge_interval = 2
+threads = 8
+locking = entry
+coalesce_duplicates = yes
+max_entry_size = 100000
+
+[cacheable]
+allow = /cgi-bin/browse /cgi-bin/maps
+
+[ttl]
+/cgi-bin/news = 30
+/cgi-bin/maps = inf
+"""
+
+
+class TestParseConfig:
+    def test_all_cache_fields(self):
+        config = parse_config(FULL_CONFIG)
+        assert config.mode is CacheMode.STANDALONE
+        assert config.cache_capacity == 123
+        assert config.policy == "gds"
+        assert config.min_exec_time == 0.5
+        assert config.default_ttl == 300.0
+        assert config.purge_interval == 2.0
+        assert config.n_threads == 8
+        assert config.locking is LockingGranularity.ENTRY
+        assert config.coalesce_duplicates is True
+        assert config.max_entry_size == 100_000
+
+    def test_cacheable_prefixes(self):
+        config = parse_config(FULL_CONFIG)
+        assert config.is_cacheable(Request.cgi("/cgi-bin/browse?x=1", 1.0, 10))
+        assert not config.is_cacheable(Request.cgi("/cgi-bin/other", 1.0, 10))
+        # Application-level uncacheable still wins.
+        assert not config.is_cacheable(
+            Request.cgi("/cgi-bin/maps", 1.0, 10, cacheable=False)
+        )
+
+    def test_ttl_rules_first_match_and_default(self):
+        config = parse_config(FULL_CONFIG)
+        assert config.ttl_for("/cgi-bin/news?id=4") == 30.0
+        assert config.ttl_for("/cgi-bin/maps?z=2") == math.inf
+        assert config.ttl_for("/cgi-bin/browse") == 300.0  # default
+
+    def test_empty_config_gives_defaults(self):
+        config = parse_config("")
+        assert config.mode is CacheMode.COOPERATIVE
+        assert config.ttl_rules is None
+        assert config.ttl_for("/anything") == math.inf
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "swala.conf"
+        path.write_text(FULL_CONFIG)
+        assert load_config(path).cache_capacity == 123
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            parse_config("[cache]\nmode = turbo\n")
+
+
+class TestTtlRules:
+    def test_first_match_wins(self):
+        rules = TtlRules([("/a/b", 10.0), ("/a", 20.0)], default=99.0)
+        assert rules.ttl_for("/a/b/c") == 10.0
+        assert rules.ttl_for("/a/x") == 20.0
+        assert rules.ttl_for("/z") == 99.0
+        assert len(rules) == 2
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            TtlRules([("/a", 0.0)])
+
+
+class TestPrefixRule:
+    def test_files_never_allowed(self):
+        rule = make_prefix_rule(["/"])
+        assert not rule(Request.file("/f.html", 10))
+
+
+class TestPerCgiTtlEndToEnd:
+    def test_different_cgis_get_different_ttls(self):
+        config = SwalaConfig(
+            mode=CacheMode.STANDALONE,
+            default_ttl=1_000.0,
+            purge_interval=1.0,
+            ttl_rules=TtlRules([("/cgi-bin/news", 5.0)], default=1_000.0),
+        )
+        sim = Simulator()
+        cluster = SwalaCluster(sim, 1, config)
+        cluster.start()
+        news = Request.cgi("/cgi-bin/news?id=1", 0.3, 100)
+        maps = Request.cgi("/cgi-bin/maps?z=1", 0.3, 100)
+        t = ClientThread(sim, cluster.network, "c", cluster.node_names[0],
+                         [news, maps])
+        sim.run(until=t.start())
+        store = cluster.servers[0].cacher.store
+        assert store.get(news.url).ttl == 5.0
+        assert store.get(maps.url).ttl == 1_000.0
+        # After 10s the news entry is purged, the maps entry survives.
+        sim.run(until=sim.now + 10.0)
+        assert store.get(news.url) is None
+        assert store.get(maps.url) is not None

@@ -1,0 +1,169 @@
+"""Unit tests for the replicated cache directory."""
+
+import pytest
+
+from repro.cache import CacheEntry
+from repro.core import CacheDirectory, LockingGranularity
+from repro.hosts import Machine
+from repro.sim import Simulator
+
+NODES = ["n0", "n1", "n2"]
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim):
+    return Machine(sim, "n0")
+
+
+@pytest.fixture
+def directory(machine):
+    return CacheDirectory(machine, "n0", NODES)
+
+
+def entry(url, owner="n0", created=0.0, ttl=float("inf")):
+    return CacheEntry(
+        url=url, owner=owner, size=100, exec_time=1.0, created=created, ttl=ttl
+    )
+
+
+def drive(sim, gen):
+    """Run a directory operation to completion and return its value."""
+    return sim.run(until=sim.process(gen))
+
+
+class TestStructure:
+    def test_one_table_per_node(self, directory):
+        assert set(directory.table_sizes()) == set(NODES)
+
+    def test_own_table_scanned_first(self, directory):
+        assert directory.node_order[0] == "n0"
+
+    def test_unknown_self_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CacheDirectory(machine, "zz", NODES)
+
+
+class TestInsertLookupDelete:
+    def test_insert_then_lookup(self, sim, directory):
+        e = entry("/a", owner="n1")
+        drive(sim, directory.insert(e))
+        found = drive(sim, directory.lookup("/a", now=0.0))
+        assert found is not None
+        assert found.owner == "n1"
+        assert directory.table_sizes()["n1"] == 1
+
+    def test_lookup_miss_returns_none(self, sim, directory):
+        assert drive(sim, directory.lookup("/nope", now=0.0)) is None
+
+    def test_own_entry_preferred_over_peer(self, sim, directory):
+        drive(sim, directory.insert(entry("/a", owner="n1")))
+        drive(sim, directory.insert(entry("/a", owner="n0")))
+        found = drive(sim, directory.lookup("/a", now=0.0))
+        assert found.owner == "n0"
+
+    def test_delete(self, sim, directory):
+        drive(sim, directory.insert(entry("/a", owner="n2")))
+        assert drive(sim, directory.delete("/a", "n2")) is True
+        assert drive(sim, directory.lookup("/a", now=0.0)) is None
+
+    def test_delete_absent_returns_false(self, sim, directory):
+        assert drive(sim, directory.delete("/nope", "n1")) is False
+
+    def test_expired_replica_treated_as_absent(self, sim, directory):
+        drive(sim, directory.insert(entry("/a", owner="n1", created=0.0, ttl=1.0)))
+        assert drive(sim, directory.lookup("/a", now=5.0)) is None
+        assert drive(sim, directory.lookup("/a", now=0.5)) is not None
+
+    def test_has_elsewhere(self, sim, directory):
+        assert not directory.has_elsewhere("/a")
+        drive(sim, directory.insert(entry("/a", owner="n0")))
+        assert not directory.has_elsewhere("/a")  # own table doesn't count
+        drive(sim, directory.insert(entry("/a", owner="n2")))
+        assert directory.has_elsewhere("/a")
+
+
+class TestCharging:
+    def test_lookup_takes_time(self, sim, directory):
+        start = sim.now
+
+        def proc():
+            yield from directory.lookup("/nope", now=0.0)
+
+        sim.run(until=sim.process(proc()))
+        # three tables scanned, each costing lookup CPU
+        assert sim.now > start
+        expected = 3 * (
+            directory.machine.costs.directory_lookup_cpu
+            + directory.machine.costs.lock_op_cpu
+        )
+        assert sim.now == pytest.approx(expected)
+
+    def test_found_in_own_table_scans_one(self, sim, directory):
+        drive(sim, directory.insert(entry("/a", owner="n0")))
+        t0 = sim.now
+
+        def proc():
+            yield from directory.lookup("/a", now=0.0)
+
+        sim.run(until=sim.process(proc()))
+        one_table = (
+            directory.machine.costs.directory_lookup_cpu
+            + directory.machine.costs.lock_op_cpu
+        )
+        assert sim.now - t0 == pytest.approx(one_table)
+
+
+class TestLockingGranularities:
+    def test_directory_mode_shares_one_lock(self, machine):
+        d = CacheDirectory(
+            machine, "n0", NODES, locking=LockingGranularity.DIRECTORY
+        )
+        locks = {id(d.lock(n)) for n in NODES}
+        assert len(locks) == 1
+
+    def test_table_mode_distinct_locks(self, machine):
+        d = CacheDirectory(machine, "n0", NODES, locking=LockingGranularity.TABLE)
+        locks = {id(d.lock(n)) for n in NODES}
+        assert len(locks) == len(NODES)
+
+    def test_entry_mode_charges_per_entry(self, sim, machine):
+        d = CacheDirectory(machine, "n0", NODES, locking=LockingGranularity.ENTRY)
+        for i in range(50):
+            sim.run(until=sim.process(d.insert(entry(f"/{i}", owner="n1"))))
+        t0 = sim.now
+
+        def probe():
+            yield from d.lookup("/nope", now=0.0)
+
+        sim.run(until=sim.process(probe()))
+        elapsed = sim.now - t0
+        # n1's table has 50 entries -> at least 50 lock-op charges.
+        floor = 50 * machine.costs.lock_op_cpu
+        assert elapsed > floor
+
+    def test_writer_blocks_concurrent_lookup(self, sim, directory):
+        order = []
+
+        def writer():
+            lock = directory.lock("n0")
+            yield lock.acquire_write()
+            yield sim.timeout(1.0)
+            order.append(("w-done", sim.now))
+            lock.release_write()
+
+        def reader():
+            yield sim.timeout(0.1)
+            result = yield from directory.lookup("/nope", now=0.0)
+            order.append(("lookup-done", sim.now))
+            assert result is None
+
+        sim.process(writer())
+        done = sim.process(reader())
+        sim.run(until=done)
+        assert order[0][0] == "w-done"
+        assert order[1][1] >= 1.0

@@ -1,0 +1,63 @@
+"""Tests for cache flush (node-restart semantics)."""
+
+import pytest
+
+from repro.clients import ClientThread
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.sim import Simulator
+from repro.workload import Request
+
+CGI_A = Request.cgi("/cgi-bin/a", 0.3, 500)
+CGI_B = Request.cgi("/cgi-bin/b", 0.3, 500)
+
+
+def build(n=2):
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n, SwalaConfig(mode=CacheMode.COOPERATIVE))
+    cluster.start()
+    return sim, cluster
+
+
+def send(sim, cluster, idx, requests, tag="c"):
+    t = ClientThread(sim, cluster.network, f"{tag}{idx}-{sim.now}",
+                     cluster.node_names[idx], requests)
+    sim.run(until=t.start())
+    return t
+
+
+class TestFlush:
+    def test_flush_empties_store_and_directory(self):
+        sim, cluster = build()
+        send(sim, cluster, 0, [CGI_A, CGI_B])
+        node = cluster.servers[0]
+        assert len(node.cacher.store) == 2
+        sim.run(until=sim.process(node.cacher.flush()))
+        assert len(node.cacher.store) == 0
+        assert node.cacher.directory.table(node.name) == {}
+
+    def test_peers_learn_of_flush(self):
+        sim, cluster = build()
+        send(sim, cluster, 0, [CGI_A])
+        sim.run(until=sim.now + 0.5)
+        peer = cluster.servers[1]
+        assert CGI_A.url in peer.cacher.directory.table(cluster.node_names[0])
+        sim.run(until=sim.process(cluster.servers[0].cacher.flush()))
+        sim.run(until=sim.now + 0.5)
+        assert CGI_A.url not in peer.cacher.directory.table(cluster.node_names[0])
+
+    def test_request_after_flush_reexecutes_and_recaches(self):
+        sim, cluster = build()
+        send(sim, cluster, 0, [CGI_A])
+        sim.run(until=sim.process(cluster.servers[0].cacher.flush()))
+        sim.run(until=sim.now + 0.5)
+        t = send(sim, cluster, 1, [CGI_A])
+        # Peer 1 sees no cached copy anywhere: executes (no false hit).
+        assert t.responses[0].source == "exec"
+        assert cluster.stats().false_hits == 0
+        assert cluster.servers[1].cacher.store.get(CGI_A.url) is not None
+
+    def test_flush_of_empty_cache_is_noop(self):
+        sim, cluster = build()
+        before = cluster.network.messages_sent
+        sim.run(until=sim.process(cluster.servers[0].cacher.flush()))
+        assert cluster.network.messages_sent == before

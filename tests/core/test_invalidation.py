@@ -1,0 +1,254 @@
+"""Tests for the invalidation subsystem (the paper's §4.2 future work):
+application-initiated invalidation and source-file monitoring."""
+
+import pytest
+
+from repro.clients import ClientThread
+from repro.core import (
+    INVALIDATE_MSG_BYTES,
+    INVALIDATION_PORT,
+    CacheMode,
+    DependencyRegistry,
+    InvalidateUrl,
+    SwalaCluster,
+    SwalaConfig,
+)
+from repro.sim import Simulator
+from repro.workload import Request
+
+CGI = Request.cgi("/cgi-bin/report?region=1", cpu_time=0.5, response_size=2_000)
+
+
+def build(n=2, **config_kw):
+    sim = Simulator()
+    config_kw.setdefault("mode", CacheMode.COOPERATIVE)
+    cluster = SwalaCluster(sim, n, SwalaConfig(**config_kw))
+    cluster.start()
+    return sim, cluster
+
+
+def send(sim, cluster, idx, requests, client="c"):
+    t = ClientThread(
+        sim, cluster.network, f"{client}{idx}-{sim.now}",
+        cluster.node_names[idx], requests,
+    )
+    sim.run(until=t.start())
+    return t
+
+
+class TestDependencyRegistry:
+    def test_prefix_rule(self):
+        reg = DependencyRegistry()
+        reg.register("/cgi-bin/report", ["/data/regions.db"])
+        assert reg.sources_for("/cgi-bin/report?region=1") == {"/data/regions.db"}
+        assert reg.sources_for("/cgi-bin/other") == set()
+
+    def test_callable_rule_and_union(self):
+        reg = DependencyRegistry()
+        reg.register(lambda url: "map" in url, ["/data/tiles.bin"])
+        reg.register("/cgi-bin/map", ["/data/index.db"])
+        assert reg.sources_for("/cgi-bin/map?z=3") == {
+            "/data/tiles.bin", "/data/index.db",
+        }
+
+    def test_bad_predicate(self):
+        with pytest.raises(TypeError):
+            DependencyRegistry().register(42, ["/x"])
+
+    def test_rule_count(self):
+        reg = DependencyRegistry()
+        reg.register("/a", ["/s"])
+        assert reg.rule_count == 1
+
+
+class TestApplicationInvalidation:
+    def test_invalidate_drops_owner_entry_and_replicas(self):
+        sim, cluster = build(2)
+        send(sim, cluster, 0, [CGI])
+        sim.run(until=sim.now + 0.5)
+        owner = cluster.node_names[0]
+        cluster.network.send(
+            "app", owner, INVALIDATION_PORT, InvalidateUrl(CGI.url),
+            INVALIDATE_MSG_BYTES,
+        )
+        sim.run(until=sim.now + 1.0)
+        assert cluster.servers[0].cacher.store.get(CGI.url) is None
+        assert cluster.servers[0].stats.invalidated == 1
+        # Peers learned via the delete broadcast.
+        peer_table = cluster.servers[1].cacher.directory.table(owner)
+        assert CGI.url not in peer_table
+
+    def test_invalidation_forwarded_to_owner(self):
+        sim, cluster = build(2)
+        send(sim, cluster, 0, [CGI])
+        sim.run(until=sim.now + 0.5)
+        # Send the invalidation to the NON-owner; it must forward.
+        cluster.network.send(
+            "app", cluster.node_names[1], INVALIDATION_PORT,
+            InvalidateUrl(CGI.url), INVALIDATE_MSG_BYTES,
+        )
+        sim.run(until=sim.now + 1.0)
+        assert cluster.servers[0].cacher.store.get(CGI.url) is None
+        assert cluster.servers[1].stats.invalidations_received == 1
+
+    def test_next_request_reexecutes_after_invalidation(self):
+        sim, cluster = build(1)
+        send(sim, cluster, 0, [CGI])
+        cluster.network.send(
+            "app", cluster.node_names[0], INVALIDATION_PORT,
+            InvalidateUrl(CGI.url), INVALIDATE_MSG_BYTES,
+        )
+        sim.run(until=sim.now + 0.5)
+        send(sim, cluster, 0, [CGI])
+        assert cluster.servers[0].stats.cgi_executed == 2
+
+    def test_invalidating_unknown_url_is_harmless(self):
+        sim, cluster = build(1)
+        cluster.network.send(
+            "app", cluster.node_names[0], INVALIDATION_PORT,
+            InvalidateUrl("/cgi-bin/nothing"), INVALIDATE_MSG_BYTES,
+        )
+        sim.run(until=sim.now + 0.5)
+        assert cluster.servers[0].stats.invalidations_received == 1
+        assert cluster.servers[0].stats.invalidated == 0
+
+
+class TestSourceMonitor:
+    def _registry(self):
+        reg = DependencyRegistry()
+        reg.register("/cgi-bin/report", ["/data/regions.db"])
+        return reg
+
+    def test_source_change_invalidates_entry(self):
+        reg = self._registry()
+        sim, cluster = build(
+            1, dependencies=reg, source_monitor_interval=1.0
+        )
+        node = cluster.servers[0]
+        node.machine.fs.create("/data/regions.db", 10_000)
+        send(sim, cluster, 0, [CGI])
+        assert node.cacher.store.get(CGI.url) is not None
+        # Touch the source file; the monitor should notice within a period.
+        node.machine.fs.create("/data/regions.db", 10_500)
+        sim.run(until=sim.now + 3.0)
+        assert node.cacher.store.get(CGI.url) is None
+        assert node.stats.invalidated == 1
+
+    def test_untouched_source_keeps_entry(self):
+        reg = self._registry()
+        sim, cluster = build(1, dependencies=reg, source_monitor_interval=1.0)
+        node = cluster.servers[0]
+        node.machine.fs.create("/data/regions.db", 10_000)
+        send(sim, cluster, 0, [CGI])
+        sim.run(until=sim.now + 5.0)
+        assert node.cacher.store.get(CGI.url) is not None
+
+    def test_unrelated_entries_survive(self):
+        reg = self._registry()
+        sim, cluster = build(1, dependencies=reg, source_monitor_interval=1.0)
+        node = cluster.servers[0]
+        node.machine.fs.create("/data/regions.db", 10_000)
+        other = Request.cgi("/cgi-bin/search?q=1", 0.3, 500)
+        send(sim, cluster, 0, [CGI, other])
+        node.machine.fs.create("/data/regions.db", 11_000)
+        sim.run(until=sim.now + 3.0)
+        assert node.cacher.store.get(other.url) is not None
+
+    def test_stale_hit_accounting_without_monitor(self):
+        # Registry present but monitor period long: hits served after the
+        # source changed are counted as stale (ground truth).
+        reg = self._registry()
+        sim, cluster = build(
+            1, dependencies=reg, source_monitor_interval=1_000.0
+        )
+        node = cluster.servers[0]
+        node.machine.fs.create("/data/regions.db", 10_000)
+        send(sim, cluster, 0, [CGI])
+        node.machine.fs.create("/data/regions.db", 11_000)  # source changed
+        send(sim, cluster, 0, [CGI])  # still a (stale) hit
+        assert node.stats.local_hits == 1
+        assert node.stats.stale_hits == 1
+
+
+class TestFetchTimeout:
+    def test_unresponsive_owner_triggers_timeout_and_local_exec(self):
+        from repro.cache import CacheEntry
+
+        sim, cluster = build(2, fetch_timeout=0.5)
+        requester = cluster.servers[1]
+        dead = "ghost-node"
+        # Register the fetch port so sends are routable, but nobody serves it.
+        cluster.network.register(dead, "cache-fetch")
+        ghost_entry = CacheEntry(
+            url=CGI.url, owner=dead, size=100, exec_time=0.5, created=0.0
+        )
+        # Plant a replica pointing at the dead owner (as if a broadcast from
+        # a since-departed node survived in the directory).
+        requester.cacher.directory.table(cluster.node_names[0])[
+            CGI.url
+        ] = ghost_entry
+        t = send(sim, cluster, 1, [CGI])
+        assert t.responses[0].source == "exec"
+        assert requester.stats.fetch_timeouts == 1
+        assert requester.stats.false_hits == 1
+
+    def test_late_reply_discarded_by_seq(self):
+        # After a timeout, the next fetch on the same thread must not
+        # mistake the late reply for its own.  We simulate by sending a
+        # stale FetchReply directly into a request thread's mailbox.
+        from repro.core import FetchReply
+
+        sim, cluster = build(2)
+        send(sim, cluster, 0, [CGI])
+        sim.run(until=sim.now + 0.5)
+        # Pre-plant a stale reply in the thread-0 mailbox of node 1.
+        stale = FetchReply(url=CGI.url, hit=True, size=100, seq=-999)
+        cluster.network.send(
+            "ghost", cluster.node_names[1], "fetch-reply-rt0", stale, 100
+        )
+        sim.run(until=sim.now + 0.5)
+        t = send(sim, cluster, 1, [CGI])
+        # The genuine remote fetch still succeeds.
+        assert t.responses[0].source == "remote-cache"
+
+
+class TestUpdateLossRobustness:
+    def test_cluster_correct_under_update_loss(self):
+        from repro.clients import ClientFleet
+        from repro.core import UPDATE_PORT
+        from repro.net import Network
+        from repro.workload import zipf_cgi_trace
+
+        sim = Simulator()
+        net = Network(sim, loss_rate=0.5, lossy_ports={UPDATE_PORT}, loss_seed=1)
+        cluster = SwalaCluster(sim, 3, SwalaConfig(), network=net)
+        cluster.start()
+        trace = zipf_cgi_trace(300, 60, seed=2)
+        fleet = ClientFleet(
+            sim, net, trace, servers=cluster.node_names, n_threads=6
+        )
+        times = fleet.run()
+        # Every request answered despite dropped directory updates.
+        assert times.count == 300
+        assert net.messages_dropped > 0
+        # Caching still works, just degraded.
+        stats = cluster.stats()
+        assert stats.hits > 0
+
+    def test_lossless_ports_unaffected(self):
+        from repro.core import UPDATE_PORT
+        from repro.net import Network
+
+        sim = Simulator()
+        net = Network(sim, loss_rate=0.9, lossy_ports={UPDATE_PORT}, loss_seed=1)
+        box = net.register("b", "http")
+        net.send("a", "b", "http", "x", 10)
+        got = []
+
+        def rx():
+            msg = yield box.get()
+            got.append(msg.payload)
+
+        sim.process(rx())
+        sim.run()
+        assert got == ["x"]

@@ -1,0 +1,95 @@
+"""Tests for per-source response tallies and heterogeneous clusters."""
+
+import pytest
+
+from repro.clients import ClientFleet, ClientThread
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.hosts import SUN_ULTRA1
+from repro.sim import Simulator
+from repro.workload import Request, Trace
+
+
+class TestSourceTimes:
+    def test_breakdown_matches_sources(self):
+        sim = Simulator()
+        cluster = SwalaCluster(sim, 1, SwalaConfig(mode=CacheMode.STANDALONE))
+        cluster.start()
+        cgi = Request.cgi("/cgi-bin/a", 0.5, 1_000)
+        t = ClientThread(sim, cluster.network, "c", cluster.node_names[0],
+                         [cgi, cgi, cgi])
+        sim.run(until=t.start())
+        st = cluster.servers[0].stats
+        assert st.source_times["exec"].count == 1
+        assert st.source_times["local-cache"].count == 2
+        # Hits are far faster than the execution.
+        assert (
+            st.source_times["local-cache"].mean
+            < st.source_times["exec"].mean / 5
+        )
+
+    def test_cluster_merge(self):
+        sim = Simulator()
+        cluster = SwalaCluster(sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE))
+        cluster.start()
+        cgi = Request.cgi("/cgi-bin/a", 0.5, 1_000)
+        t0 = ClientThread(sim, cluster.network, "c0", cluster.node_names[0], [cgi])
+        sim.run(until=t0.start())
+        t1 = ClientThread(sim, cluster.network, "c1", cluster.node_names[1], [cgi])
+        sim.run(until=t1.start())
+        merged = cluster.stats().merged_source_times()
+        assert merged["exec"].count == 1
+        assert merged["remote-cache"].count == 1
+
+    def test_total_equals_sum_of_sources(self):
+        sim = Simulator()
+        cluster = SwalaCluster(sim, 1, SwalaConfig())
+        cluster.start()
+        reqs = [Request.cgi(f"/cgi-bin/{i % 2}", 0.2, 100) for i in range(6)]
+        fleet = ClientFleet(sim, cluster.network, Trace(reqs),
+                            servers=cluster.node_names, n_threads=2)
+        fleet.run()
+        st = cluster.servers[0].stats
+        assert sum(t.count for t in st.source_times.values()) == st.response_times.count
+
+
+class TestHeterogeneousCluster:
+    def test_costs_per_node(self):
+        sim = Simulator()
+        fast = SUN_ULTRA1.with_(ncpus=2)
+        cluster = SwalaCluster(
+            sim, 3, SwalaConfig(), costs_per_node=[None, fast, None]
+        )
+        assert cluster.machines[0].costs.ncpus == 1
+        assert cluster.machines[1].costs.ncpus == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SwalaCluster(Simulator(), 2, SwalaConfig(), costs_per_node=[None])
+
+    def test_fast_node_serves_faster(self):
+        def run(two_cpus: bool) -> float:
+            sim = Simulator()
+            costs = SUN_ULTRA1.with_(ncpus=2 if two_cpus else 1)
+            cluster = SwalaCluster(
+                sim, 1, SwalaConfig(mode=CacheMode.NONE), costs=costs
+            )
+            cluster.start()
+            reqs = [Request.cgi(f"/cgi-bin/{i}", 1.0, 100) for i in range(8)]
+            fleet = ClientFleet(sim, cluster.network, Trace(reqs),
+                                servers=cluster.node_names, n_threads=8)
+            return fleet.run().mean
+
+        assert run(two_cpus=True) < run(two_cpus=False) / 1.5
+
+    def test_mixed_cluster_runs(self):
+        sim = Simulator()
+        fast = SUN_ULTRA1.with_(ncpus=2)
+        cluster = SwalaCluster(
+            sim, 2, SwalaConfig(), costs_per_node=[fast, None]
+        )
+        cluster.start()
+        reqs = [Request.cgi(f"/cgi-bin/{i % 3}", 0.3, 100) for i in range(12)]
+        fleet = ClientFleet(sim, cluster.network, Trace(reqs),
+                            servers=cluster.node_names, n_threads=4)
+        times = fleet.run()
+        assert times.count == 12

@@ -1,0 +1,207 @@
+"""Behavioural tests for a single Swala node (Figure 2 control flow)."""
+
+import pytest
+
+from repro.clients import ClientThread
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import Request
+
+
+def build_node(config=None):
+    sim = Simulator()
+    network = Network(sim)
+    machine = Machine(sim, "srv")
+    server = SwalaServer(
+        sim, machine, network, ["srv"], config or SwalaConfig(), name="srv"
+    )
+    server.start()
+    return sim, network, server
+
+
+def send_all(sim, network, requests, server="srv", client="cl"):
+    thread = ClientThread(sim, network, client, server, requests)
+    sim.run(until=thread.start())
+    return thread
+
+
+CGI = Request.cgi("/cgi-bin/q?x=1", cpu_time=0.5, response_size=2_000)
+
+
+class TestNoCacheMode:
+    def test_every_request_executes(self):
+        sim, net, srv = build_node(SwalaConfig(mode=CacheMode.NONE))
+        t = send_all(sim, net, [CGI] * 3)
+        assert srv.stats.cgi_executed == 3
+        assert srv.stats.hits == 0
+        assert all(r.source == "exec" for r in t.responses)
+
+    def test_cacher_daemons_not_started(self):
+        sim, net, srv = build_node(SwalaConfig(mode=CacheMode.NONE))
+        send_all(sim, net, [CGI])
+        assert len(srv.cacher.store) == 0
+
+
+class TestStandaloneCaching:
+    def test_repeat_hits_local_cache(self):
+        sim, net, srv = build_node(SwalaConfig(mode=CacheMode.STANDALONE))
+        t = send_all(sim, net, [CGI] * 4)
+        assert srv.stats.cgi_executed == 1
+        assert srv.stats.local_hits == 3
+        assert srv.stats.misses == 1
+        assert [r.source for r in t.responses] == [
+            "exec", "local-cache", "local-cache", "local-cache",
+        ]
+
+    def test_hit_is_much_faster_than_execution(self):
+        sim, net, srv = build_node(SwalaConfig(mode=CacheMode.STANDALONE))
+        t = send_all(sim, net, [CGI] * 2)
+        exec_time, hit_time = t.response_times.samples
+        assert hit_time < exec_time / 5
+
+    def test_insert_recorded(self):
+        sim, net, srv = build_node(SwalaConfig(mode=CacheMode.STANDALONE))
+        send_all(sim, net, [CGI])
+        assert srv.stats.inserts == 1
+        assert len(srv.cacher.store) == 1
+
+
+class TestCacheabilityRules:
+    def test_files_bypass_cache(self):
+        sim, net, srv = build_node()
+        f = Request.file("/page.html", 1_000)
+        srv.machine.fs.create("/page.html", 1_000)
+        t = send_all(sim, net, [f, f])
+        assert srv.stats.files_served == 2
+        assert len(srv.cacher.store) == 0
+        assert all(r.source == "file" for r in t.responses)
+
+    def test_uncacheable_cgi_executes_every_time(self):
+        sim, net, srv = build_node()
+        private = Request.cgi("/cgi-bin/private", 0.2, 100, cacheable=False)
+        send_all(sim, net, [private] * 3)
+        assert srv.stats.uncacheable == 3
+        assert srv.stats.cgi_executed == 3
+        assert len(srv.cacher.store) == 0
+
+    def test_admin_rule_filters(self):
+        config = SwalaConfig(cacheable_rule=lambda r: r.is_cgi and "maps" in r.url)
+        sim, net, srv = build_node(config)
+        other = Request.cgi("/cgi-bin/search?q=1", 0.2, 100)
+        maps = Request.cgi("/cgi-bin/maps?tile=1", 0.2, 100)
+        send_all(sim, net, [other, other, maps, maps])
+        assert srv.stats.uncacheable == 2
+        assert srv.stats.local_hits == 1
+
+
+class TestExecutionTimeLimit:
+    def test_short_results_discarded(self):
+        config = SwalaConfig(min_exec_time=1.0)
+        sim, net, srv = build_node(config)
+        quick = Request.cgi("/cgi-bin/quick", 0.1, 100)
+        send_all(sim, net, [quick, quick])
+        assert srv.stats.discards == 2
+        assert srv.stats.inserts == 0
+        assert srv.stats.misses == 2
+
+    def test_long_results_cached(self):
+        config = SwalaConfig(min_exec_time=1.0)
+        sim, net, srv = build_node(config)
+        slow = Request.cgi("/cgi-bin/slow", 2.0, 100)
+        send_all(sim, net, [slow, slow])
+        assert srv.stats.inserts == 1
+        assert srv.stats.local_hits == 1
+
+    def test_limit_is_strict(self):
+        config = SwalaConfig(min_exec_time=1.0)
+        sim, net, srv = build_node(config)
+        exact = Request.cgi("/cgi-bin/exact", 1.0, 100)
+        send_all(sim, net, [exact])
+        assert srv.stats.inserts == 0
+
+    def test_oversized_results_not_cached(self):
+        config = SwalaConfig(max_entry_size=10_000)
+        sim, net, srv = build_node(config)
+        huge = Request.cgi("/cgi-bin/huge", 2.0, 50_000)
+        small = Request.cgi("/cgi-bin/small", 2.0, 5_000)
+        send_all(sim, net, [huge, huge, small, small])
+        assert srv.stats.inserts == 1
+        assert srv.cacher.store.get(small.url) is not None
+        assert srv.cacher.store.get(huge.url) is None
+        assert srv.stats.discards == 2
+
+
+class TestTtlExpiry:
+    def test_expired_entry_reexecutes(self):
+        config = SwalaConfig(
+            mode=CacheMode.STANDALONE, default_ttl=10.0, purge_interval=1.0
+        )
+        sim, net, srv = build_node(config)
+        cgi = Request.cgi("/cgi-bin/feed", 0.5, 100)
+        client = ClientThread(sim, net, "cl", "srv", [cgi])
+        sim.run(until=client.start())
+        assert srv.stats.inserts == 1
+        # run past the TTL + a purge tick
+        sim.run(until=sim.now + 15.0)
+        assert len(srv.cacher.store) == 0
+        assert srv.stats.expirations == 1
+        client2 = ClientThread(sim, net, "cl2", "srv", [cgi])
+        sim.run(until=client2.start())
+        assert srv.stats.cgi_executed == 2
+
+    def test_unexpired_entry_still_hits(self):
+        config = SwalaConfig(
+            mode=CacheMode.STANDALONE, default_ttl=1_000.0, purge_interval=1.0
+        )
+        sim, net, srv = build_node(config)
+        cgi = Request.cgi("/cgi-bin/feed", 0.5, 100)
+        client = ClientThread(sim, net, "cl", "srv", [cgi])
+        sim.run(until=client.start())
+        sim.run(until=sim.now + 15.0)
+        client2 = ClientThread(sim, net, "cl2", "srv", [cgi])
+        sim.run(until=client2.start())
+        assert srv.stats.local_hits == 1
+
+
+class TestFalseMissType1:
+    def test_concurrent_identical_requests_both_execute(self):
+        sim, net, srv = build_node()
+        slow = Request.cgi("/cgi-bin/slow", 2.0, 100)
+        a = ClientThread(sim, net, "cl-a", "srv", [slow])
+        b = ClientThread(sim, net, "cl-b", "srv", [slow])
+        done_a, done_b = a.start(), b.start()
+        sim.run(until=done_a & done_b)
+        # The second arrival hits the in-progress window: it re-executes
+        # rather than waiting (the paper's type-1 false miss).
+        assert srv.stats.cgi_executed == 2
+        assert srv.stats.false_misses == 1
+        assert srv.stats.misses == 2
+
+    def test_sequential_identical_requests_do_not_false_miss(self):
+        sim, net, srv = build_node()
+        send_all(sim, net, [CGI, CGI])
+        assert srv.stats.false_misses == 0
+
+
+class TestStatsCoherence:
+    def test_every_request_answered_once(self):
+        sim, net, srv = build_node()
+        reqs = [Request.cgi(f"/cgi-bin/u?i={i%3}", 0.3, 100) for i in range(9)]
+        t = send_all(sim, net, reqs)
+        assert len(t.responses) == 9
+        assert srv.stats.requests == 9
+
+    def test_hits_plus_misses_equals_cacheable(self):
+        sim, net, srv = build_node()
+        reqs = [Request.cgi(f"/cgi-bin/u?i={i%4}", 0.3, 100) for i in range(12)]
+        send_all(sim, net, reqs)
+        assert srv.stats.cacheable_requests == 12
+        assert srv.stats.hit_ratio == pytest.approx(8 / 12)
+
+    def test_server_response_times_recorded(self):
+        sim, net, srv = build_node()
+        send_all(sim, net, [CGI] * 2)
+        assert srv.stats.response_times.count == 2
+        assert srv.stats.response_times.mean > 0

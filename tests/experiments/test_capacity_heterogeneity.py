@@ -1,0 +1,62 @@
+"""Integration tests for the capacity and heterogeneity studies."""
+
+import pytest
+
+from repro.experiments import (
+    render_capacity_study,
+    render_heterogeneity_study,
+    run_capacity_study,
+    run_heterogeneity_study,
+)
+
+
+class TestCapacityStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_capacity_study(rates=(4.0, 12.0), n_requests=300)
+
+    def test_caching_always_faster(self, rows):
+        by = {(r.arrival_rate, r.mode): r for r in rows}
+        for rate in (4.0, 12.0):
+            assert by[(rate, "cooperative")].mean_rt < by[(rate, "none")].mean_rt
+
+    def test_no_cache_saturates_first(self, rows):
+        by = {(r.arrival_rate, r.mode): r for r in rows}
+        assert by[(12.0, "none")].mean_rt > 5 * by[(12.0, "cooperative")].mean_rt
+
+    def test_hit_ratio_reported(self, rows):
+        coop = [r for r in rows if r.mode == "cooperative"]
+        assert all(r.hit_ratio > 0.3 for r in coop)
+
+    def test_render(self, rows):
+        assert "capacity" in render_capacity_study(rows)
+
+
+class TestHeterogeneityStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_heterogeneity_study(n_requests=400)
+
+    def test_all_config_mode_cells(self, rows):
+        assert len(rows) == 6
+
+    def test_fast_nodes_help(self, rows):
+        by = {(r.config, r.mode): r for r in rows}
+        assert (
+            by[("two-fast", "cooperative")].mean_rt
+            < by[("uniform", "cooperative")].mean_rt
+        )
+
+    def test_straggler_hurts(self, rows):
+        by = {(r.config, r.mode): r for r in rows}
+        assert (
+            by[("straggler", "standalone")].mean_rt
+            > by[("uniform", "standalone")].mean_rt
+        )
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_heterogeneity_study(configs=("quantum",), n_requests=10)
+
+    def test_render(self, rows):
+        assert "heterogeneous" in render_heterogeneity_study(rows)

@@ -1,0 +1,211 @@
+"""Integration tests: each experiment harness reproduces the paper's shape
+(scaled down for test speed — the benchmarks run the full sizes)."""
+
+import pytest
+
+from repro.experiments import (
+    render_figure3,
+    render_figure4,
+    render_hit_ratio_table,
+    render_locking_ablation,
+    render_policy_ablation,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_ttl_ablation,
+    run_figure3,
+    run_figure4,
+    run_hit_ratio_experiment,
+    run_locking_ablation,
+    run_policy_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_ttl_ablation,
+)
+from repro.workload import PAPER_ADL
+
+
+class TestTable1Harness:
+    def test_scaled_run_and_render(self):
+        result = run_table1(PAPER_ADL.scaled(0.05), seed=0)
+        assert len(result.rows) == 4
+        text = render_table1(result)
+        assert "Table 1" in text
+        assert "saved %" in text
+
+    def test_saving_percent_shape(self):
+        result = run_table1(PAPER_ADL.scaled(0.05), seed=0)
+        one_sec = [r for r in result.rows if r.threshold == 1.0][0]
+        assert 15.0 < one_sec.saved_percent < 40.0
+
+
+class TestTable2Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(client_counts=(4, 32), requests_per_client=15)
+
+    def test_swala_beats_httpd_2_to_7x(self, rows):
+        for r in rows:
+            assert 2.0 < r.httpd_over_swala < 8.5
+
+    def test_enterprise_crossover(self, rows):
+        few, many = rows[0], rows[-1]
+        assert few.enterprise < few.swala       # faster at few clients
+        assert many.enterprise > many.swala     # slower at many
+
+    def test_render(self, rows):
+        assert "Table 2" in render_table2(rows)
+
+
+class TestFigure3Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure3(n_clients=24, requests_per_client=8)
+
+    def test_ordering(self, result):
+        # local < remote << Swala-no-cache <= HTTPd < Enterprise
+        assert result.swala_local < result.swala_remote
+        assert result.swala_remote < result.swala_no_cache / 3
+        assert result.swala_no_cache < result.enterprise
+        assert abs(result.swala_no_cache - result.httpd) < result.httpd  # comparable
+
+    def test_fetches_actually_happened(self, result):
+        assert result.remote_hits > 0
+        assert result.local_hits > 0
+
+    def test_remote_overhead_small_positive(self, result):
+        assert 0 < result.remote_overhead < result.swala_no_cache / 2
+
+    def test_render(self, result):
+        assert "Figure 3" in render_figure3(result)
+
+
+class TestFigure4Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure4(node_counts=(1, 4, 8), scale=0.01)
+
+    def test_caching_improves_response_time(self, rows):
+        for r in rows:
+            assert r.coop_cache < r.no_cache
+            assert 5.0 < r.improvement_percent < 60.0
+
+    def test_near_linear_scaling(self, rows):
+        base = rows[0].no_cache
+        eight = [r for r in rows if r.nodes == 8][0]
+        assert base / eight.no_cache > 5.0  # paper: ~linear, speedup ~9 at 8
+
+    def test_response_time_monotone_in_nodes(self, rows):
+        nc = [r.no_cache for r in rows]
+        cc = [r.coop_cache for r in rows]
+        assert nc == sorted(nc, reverse=True)
+        assert cc == sorted(cc, reverse=True)
+
+    def test_render(self, rows):
+        assert "Figure 4" in render_figure4(rows)
+
+
+class TestTable3Harness:
+    def test_insert_overhead_insignificant(self):
+        rows = run_table3(node_counts=(2, 8), n_requests=40)
+        for r in rows:
+            assert r.increase < 0.05 * r.no_cache  # < 5% on 1s requests
+            assert r.increase >= 0
+
+    def test_render(self):
+        rows = run_table3(node_counts=(2,), n_requests=10)
+        assert "Table 3" in render_table3(rows)
+
+
+class TestTable4Harness:
+    def test_directory_update_overhead_insignificant(self):
+        rows = run_table4(update_rates=(0.0, 50.0), n_requests=40)
+        assert rows[0].increase == 0.0
+        assert rows[1].increase < 0.05 * rows[0].response_time
+
+    def test_overhead_grows_with_rate(self):
+        rows = run_table4(update_rates=(0.0, 20.0, 200.0), n_requests=30)
+        assert rows[1].increase <= rows[2].increase
+
+    def test_render(self):
+        rows = run_table4(update_rates=(0.0, 10.0), n_requests=10)
+        assert "Table 4" in render_table4(rows)
+
+
+class TestHitRatioHarness:
+    @pytest.fixture(scope="class")
+    def big_cache(self):
+        return run_hit_ratio_experiment(
+            cache_size=2_000, node_counts=(1, 4, 8), total=800, unique=560
+        )
+
+    @pytest.fixture(scope="class")
+    def small_cache(self):
+        return run_hit_ratio_experiment(
+            cache_size=10, node_counts=(1, 4, 8), total=800, unique=560
+        )
+
+    def test_big_cache_coop_near_optimal(self, big_cache):
+        for row in big_cache:
+            assert row.cooperative.percent_of_upper_bound > 90.0
+
+    def test_big_cache_standalone_degrades(self, big_cache):
+        sa = [r.standalone.percent_of_upper_bound for r in big_cache]
+        assert sa[0] > sa[-1]
+        assert big_cache[-1].cooperative.hits > big_cache[-1].standalone.hits
+
+    def test_small_cache_coop_rises_with_nodes(self, small_cache):
+        co = [r.cooperative.percent_of_upper_bound for r in small_cache]
+        assert co[0] < co[-1]
+
+    def test_small_cache_coop_beats_standalone(self, small_cache):
+        for row in small_cache[1:]:
+            assert row.cooperative.hits > row.standalone.hits
+
+    def test_render(self, big_cache):
+        text = render_hit_ratio_table(big_cache, 2_000)
+        assert "Table 5" in text
+        text6 = render_hit_ratio_table(big_cache, 20)
+        assert "Table 6" in text6
+
+
+class TestAblations:
+    def test_policy_ablation_runs(self):
+        rows = run_policy_ablation(
+            policies=("lru", "cost"), cache_size=10, n_nodes=2,
+            total=400, unique=280,
+        )
+        assert {r.policy for r in rows} == {"lru", "cost"}
+        for r in rows:
+            assert r.hits > 0
+        assert "Ablation" in render_policy_ablation(rows)
+
+    def test_locking_ablation_table_beats_directory_on_waits(self):
+        rows = run_locking_ablation(n_nodes=2, n_requests=300, n_distinct=60)
+        by = {r.granularity: r for r in rows}
+        assert by["table"].lock_wait_time <= by["directory"].lock_wait_time
+        assert "locking" in render_locking_ablation(rows)
+
+    def test_ttl_ablation_shorter_ttl_fewer_hits(self):
+        rows = run_ttl_ablation(
+            ttls=(2.0, float("inf")), n_nodes=2, n_requests=300, n_distinct=60
+        )
+        by_ttl = {r.ttl: r for r in rows}
+        assert by_ttl[2.0].hits <= by_ttl[float("inf")].hits
+        assert by_ttl[2.0].expirations > 0
+        assert "TTL" in render_ttl_ablation(rows)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = run_hit_ratio_experiment(
+            cache_size=50, node_counts=(2,), total=300, unique=200, seed=7
+        )[0]
+        b = run_hit_ratio_experiment(
+            cache_size=50, node_counts=(2,), total=300, unique=200, seed=7
+        )[0]
+        assert a.cooperative == b.cooperative
+        assert a.standalone == b.standalone

@@ -1,0 +1,39 @@
+"""Integration tests for the invalidation-study harness (small scale)."""
+
+import pytest
+
+from repro.experiments import render_invalidation_study, run_invalidation_study
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_invalidation_study(
+        n_requests=250, n_distinct=25, update_interval=4.0
+    )
+
+
+class TestInvalidationStudy:
+    def test_all_schemes_present(self, rows):
+        assert [r.scheme for r in rows] == ["none", "ttl", "monitor", "app"]
+
+    def test_none_has_most_stale_hits(self, rows):
+        by = {r.scheme: r for r in rows}
+        assert by["none"].stale_hits == max(r.stale_hits for r in rows)
+        assert by["none"].stale_hits > 0
+
+    def test_targeted_schemes_eliminate_staleness(self, rows):
+        by = {r.scheme: r for r in rows}
+        assert by["monitor"].stale_hits <= by["ttl"].stale_hits
+        assert by["app"].stale_fraction < 0.05
+        assert by["monitor"].stale_fraction < 0.05
+
+    def test_ttl_expires_instead_of_invalidating(self, rows):
+        by = {r.scheme: r for r in rows}
+        assert by["ttl"].expirations > 0
+        assert by["ttl"].invalidated == 0
+        assert by["monitor"].invalidated > 0
+
+    def test_render(self, rows):
+        text = render_invalidation_study(rows)
+        assert "content-consistency" in text
+        assert "monitor" in text

@@ -1,0 +1,43 @@
+"""Integration tests for the proxy-vs-server-cache study (small scale)."""
+
+import pytest
+
+from repro.experiments import (
+    PROXY_CONFIGS,
+    render_proxy_study,
+    run_proxy_study,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_proxy_study(scale=0.005, n_threads=6)
+
+
+class TestProxyStudy:
+    def test_all_configs(self, rows):
+        assert [r.config for r in rows] == list(PROXY_CONFIGS)
+
+    def test_proxy_helps_files_not_cgi(self, rows):
+        by = {r.config: r for r in rows}
+        assert by["proxy"].file_rt < by["direct"].file_rt / 2
+        assert by["proxy"].cgi_rt > by["direct"].cgi_rt * 0.7
+
+    def test_swala_helps_cgi_not_files(self, rows):
+        by = {r.config: r for r in rows}
+        assert by["swala"].cgi_rt < by["direct"].cgi_rt
+        assert by["swala"].file_rt == pytest.approx(
+            by["direct"].file_rt, rel=0.3
+        )
+
+    def test_combination_composes(self, rows):
+        by = {r.config: r for r in rows}
+        assert by["proxy+swala"].file_rt < by["direct"].file_rt / 2
+        assert by["proxy+swala"].cgi_rt < by["direct"].cgi_rt
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_proxy_study(configs=("direct", "varnish"))
+
+    def test_render(self, rows):
+        assert "proxy caching" in render_proxy_study(rows)

@@ -1,0 +1,50 @@
+"""Integration tests for the threshold and cache-size study harnesses."""
+
+import pytest
+
+from repro.experiments import (
+    render_cache_size_study,
+    render_threshold_study,
+    run_cache_size_study,
+    run_threshold_study,
+)
+
+
+class TestThresholdStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_threshold_study(
+            thresholds=(0.0, 1.0, 10.0), cache_size=15, scale=0.01
+        )
+
+    def test_inserts_fall_with_threshold(self, rows):
+        inserts = [r.inserts for r in rows]
+        assert inserts == sorted(inserts, reverse=True)
+
+    def test_discards_rise_with_threshold(self, rows):
+        discards = [r.discards for r in rows]
+        assert discards == sorted(discards)
+
+    def test_huge_threshold_caches_nothing(self, rows):
+        top = rows[-1]
+        assert top.hits == 0
+        assert top.exec_time_avoided == pytest.approx(0.0)
+
+    def test_render(self, rows):
+        assert "threshold" in render_threshold_study(rows)
+
+
+class TestCacheSizeStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_cache_size_study(sizes=(5, 50, 500), scale=0.01)
+
+    def test_hits_monotone(self, rows):
+        hits = [r.hits for r in rows]
+        assert hits == sorted(hits)
+
+    def test_big_cache_stops_evicting(self, rows):
+        assert rows[-1].evictions == 0
+
+    def test_render(self, rows):
+        assert "cache size" in render_cache_size_study(rows)

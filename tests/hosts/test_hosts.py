@@ -1,0 +1,257 @@
+"""Unit tests for the machine model: costs, disk, filesystem, Machine."""
+
+import pytest
+
+from repro.hosts import SUN_ULTRA1, Disk, DiskParams, FileNotFound, Machine, MachineCosts
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim):
+    return Machine(sim, "node0")
+
+
+class TestDiskParams:
+    def test_read_time_includes_access_and_transfer(self):
+        p = DiskParams(access_time=0.01, transfer_rate=1e6)
+        assert p.read_time(1_000_000) == pytest.approx(0.01 + 1.0)
+
+    def test_zero_bytes_is_free(self):
+        assert DiskParams().read_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParams().read_time(-1)
+
+
+class TestDisk:
+    def test_read_takes_service_time(self, sim):
+        disk = Disk(sim, DiskParams(access_time=0.01, transfer_rate=1e6))
+        done = []
+
+        def proc():
+            yield from disk.read(500_000)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(0.51)]
+        assert disk.reads == 1
+        assert disk.bytes_read == 500_000
+
+    def test_reads_serialize_fcfs(self, sim):
+        disk = Disk(sim, DiskParams(access_time=0.01, transfer_rate=1e6))
+        done = []
+
+        def proc(tag):
+            yield from disk.read(1_000_000)
+            done.append((tag, sim.now))
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert done == [("a", pytest.approx(1.01)), ("b", pytest.approx(2.02))]
+
+
+class TestFileSystem:
+    def test_create_exists_size(self, machine):
+        machine.fs.create("/a", 1000)
+        assert machine.fs.exists("/a")
+        assert machine.fs.size_of("/a") == 1000
+        assert not machine.fs.exists("/b")
+
+    def test_size_of_missing_raises(self, machine):
+        with pytest.raises(FileNotFound):
+            machine.fs.size_of("/missing")
+
+    def test_cold_read_hits_disk_warm_read_does_not(self, sim, machine):
+        machine.fs.create("/a", 100_000)
+        times = []
+
+        def proc():
+            start = sim.now
+            yield from machine.fs.read("/a")
+            times.append(sim.now - start)
+            start = sim.now
+            yield from machine.fs.read("/a")
+            times.append(sim.now - start)
+
+        sim.process(proc())
+        sim.run()
+        cold, warm = times
+        assert cold > 0
+        assert warm == 0.0  # fully buffered: no disk time at all
+        assert machine.fs.cache_misses > 0
+        assert machine.fs.cache_hits > 0
+
+    def test_warm_prefills_cache(self, sim, machine):
+        machine.fs.create("/a", 50_000)
+        machine.fs.warm("/a")
+        times = []
+
+        def proc():
+            start = sim.now
+            yield from machine.fs.read("/a")
+            times.append(sim.now - start)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [0.0]
+        assert machine.fs.cached_fraction("/a") == 1.0
+
+    def test_lru_eviction_under_pressure(self, sim):
+        costs = MachineCosts(buffer_cache_bytes=10 * 8192)  # 10 blocks
+        m = Machine(sim, "small", costs)
+        m.fs.create("/a", 8 * 8192)
+        m.fs.create("/b", 8 * 8192)
+        m.fs.warm("/a")
+        m.fs.warm("/b")  # evicts most of /a
+        assert m.fs.cached_fraction("/b") == 1.0
+        assert m.fs.cached_fraction("/a") < 0.5
+
+    def test_unlink_removes_file_and_blocks(self, machine):
+        machine.fs.create("/a", 8192)
+        machine.fs.warm("/a")
+        machine.fs.unlink("/a")
+        assert not machine.fs.exists("/a")
+        with pytest.raises(FileNotFound):
+            machine.fs.unlink("/a")
+
+    def test_write_lands_in_buffer_cache(self, sim, machine):
+        times = []
+
+        def proc():
+            yield from machine.fs.write("/out", 20_000)
+            start = sim.now
+            yield from machine.fs.read("/out")
+            times.append(sim.now - start)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [0.0]
+
+    def test_empty_file_readable(self, sim, machine):
+        machine.fs.create("/empty", 0)
+
+        def proc():
+            yield from machine.fs.read("/empty")
+
+        sim.process(proc())
+        sim.run()  # must not raise
+
+
+class TestMachine:
+    def test_compute_charges_cpu(self, sim, machine):
+        done = []
+
+        def proc():
+            yield machine.compute(2.0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [2.0]
+
+    def test_cpu_contention_slows_requests(self, sim, machine):
+        done = []
+
+        def proc():
+            yield machine.compute(1.0)
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(4.0)] * 4
+
+    def test_serve_file_returns_size(self, sim, machine):
+        machine.fs.create("/f", 12345)
+        result = []
+
+        def proc():
+            size = yield from machine.serve_file("/f")
+            result.append(size)
+
+        sim.process(proc())
+        sim.run()
+        assert result == [12345]
+
+    def test_mmap_serving_cheaper_than_copy(self, sim):
+        m1 = Machine(sim, "mmap")
+        m2 = Machine(sim, "copy")
+        size = 1_000_000
+        m1.fs.create("/f", size)
+        m2.fs.create("/f", size)
+        m1.fs.warm("/f")
+        m2.fs.warm("/f")
+        finished = {}
+
+        def proc(machine, mmap, tag):
+            start = sim.now
+            yield from machine.serve_file("/f", mmap=mmap)
+            finished[tag] = sim.now - start
+
+        sim.process(proc(m1, True, "mmap"))
+        sim.process(proc(m2, False, "copy"))
+        sim.run()
+        assert finished["mmap"] < finished["copy"]
+
+    def test_default_costs_are_ultra1(self, machine):
+        assert machine.costs == SUN_ULTRA1
+
+    def test_cost_overrides(self):
+        fast = SUN_ULTRA1.with_(ncpus=2)
+        assert fast.ncpus == 2
+        assert fast.accept_parse_cpu == SUN_ULTRA1.accept_parse_cpu
+
+
+class TestCalibration:
+    """Sanity ties between the cost model and the paper's statistics."""
+
+    def test_file_fetch_magnitude(self, sim, machine):
+        """A cold ~5 KB file fetch should land near the paper's 0.03 s."""
+        machine.fs.create("/page", 5000)
+        elapsed = []
+
+        def proc():
+            start = sim.now
+            yield machine.accept_and_parse()
+            yield from machine.serve_file("/page")
+            yield machine.send_bytes_cpu(5000)
+            elapsed.append(sim.now - start)
+
+        sim.process(proc())
+        sim.run()
+        assert 0.005 < elapsed[0] < 0.08
+
+    def test_cgi_fork_exec_dwarfs_file_serving(self):
+        c = SUN_ULTRA1
+        assert c.cgi_fork_exec_cpu > 10 * c.accept_parse_cpu
+        assert c.cgi_fork_exec_cpu > 100 * c.thread_dispatch_cpu
+
+    def test_fork_per_request_dwarfs_thread_dispatch(self):
+        c = SUN_ULTRA1
+        assert c.process_fork_cpu > 10 * c.thread_dispatch_cpu
+
+
+class TestCpuSlowdown:
+    def test_slowdown_stretches_all_work(self, sim):
+        slow = SUN_ULTRA1.with_(cpu_slowdown=2.0)
+        m = Machine(sim, "slow", slow)
+        done = []
+
+        def proc():
+            yield m.compute(1.0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [2.0]
+
+    def test_default_is_reference_speed(self, sim, machine):
+        assert machine.costs.cpu_slowdown == 1.0

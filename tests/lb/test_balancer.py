@@ -1,0 +1,131 @@
+"""Tests for the front-end load balancer."""
+
+import pytest
+
+from repro.clients import ClientFleet
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.hosts import Machine
+from repro.lb import BALANCER_POLICIES, LoadBalancer
+from repro.sim import Simulator
+from repro.workload import Request, Trace, zipf_cgi_trace
+
+
+def build(policy, n_nodes=3, mode=CacheMode.STANDALONE):
+    sim = Simulator()
+    cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode))
+    cluster.start()
+    lb = LoadBalancer(
+        sim, Machine(sim, "lb"), cluster.network, cluster.node_names,
+        policy=policy,
+    )
+    lb.start()
+    if policy == "least_loaded":
+        lb.attach_heartbeats(cluster.servers)
+    return sim, cluster, lb
+
+
+def run_trace(sim, cluster, trace, n_threads=6):
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=["lb"], n_threads=n_threads
+    )
+    return fleet.run(), fleet
+
+
+class TestDispatch:
+    def test_round_robin_even_spread(self):
+        sim, cluster, lb = build("round_robin")
+        reqs = [Request.cgi(f"/cgi-bin/u?{i}", 0.05, 100) for i in range(12)]
+        times, fleet = run_trace(sim, cluster, Trace(reqs))
+        assert times.count == 12
+        assert set(lb.per_backend.values()) == {4}
+
+    def test_all_requests_answered_every_policy(self):
+        for policy in BALANCER_POLICIES:
+            sim, cluster, lb = build(policy)
+            trace = zipf_cgi_trace(60, 10, seed=1)
+            times, _ = run_trace(sim, cluster, trace)
+            assert times.count == 60, policy
+            assert lb.forwarded == 60, policy
+
+    def test_url_hash_affinity(self):
+        sim, cluster, lb = build("url_hash")
+        # The same URL always lands on the same backend.
+        req = Request.cgi("/cgi-bin/popular", 0.05, 100)
+        times, fleet = run_trace(sim, cluster, Trace([req] * 9), n_threads=3)
+        hit_backends = [b for b, n in lb.per_backend.items() if n]
+        assert len(hit_backends) == 1
+
+    def test_url_hash_standalone_avoids_reexecution(self):
+        sim, cluster, lb = build("url_hash", mode=CacheMode.STANDALONE)
+        trace = zipf_cgi_trace(120, 15, seed=2)
+        run_trace(sim, cluster, trace)
+        stats = cluster.stats()
+        # Every repeat is a local hit at its home node: executions == uniques.
+        assert stats.misses == trace.unique_count + stats.false_misses
+        assert stats.remote_hits == 0
+
+    def test_least_loaded_prefers_idle_backend(self):
+        sim, cluster, lb = build("least_loaded")
+        # Artificially report high load on all but one backend.
+        lb.reported_load = {b: 10.0 for b in lb.backends}
+        lb.reported_load[lb.backends[1]] = 0.0
+        conn_req = Request.cgi("/cgi-bin/x", 0.05, 100)
+        from repro.core import HttpConnection
+
+        chosen = lb.choose(
+            HttpConnection(conn_req, client="c", reply_port="p", sent_at=0.0)
+        )
+        assert chosen == lb.backends[1]
+
+    def test_heartbeats_update_reported_load(self):
+        sim, cluster, lb = build("least_loaded")
+        # Occupy backend 0 with slow CGIs, then let heartbeats tick.
+        slow = [Request.cgi(f"/cgi-bin/s{i}", 5.0, 100) for i in range(4)]
+        from repro.clients import ClientThread
+
+        t = ClientThread(
+            sim, cluster.network, "cl", cluster.node_names[0], slow[:1]
+        )
+        t.start()
+        sim.run(until=2.0)
+        assert lb.reported_load[cluster.node_names[0]] >= 1.0
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LoadBalancer(sim, Machine(sim, "lb"), __import__("repro.net", fromlist=["Network"]).Network(sim), ["b"], policy="belady")
+
+    def test_empty_backends(self):
+        from repro.net import Network
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LoadBalancer(sim, Machine(sim, "lb"), Network(sim), [])
+
+    def test_double_start(self):
+        sim, cluster, lb = build("round_robin")
+        with pytest.raises(RuntimeError):
+            lb.start()
+
+    def test_bad_heartbeat_interval(self):
+        from repro.net import Network
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LoadBalancer(
+                sim, Machine(sim, "lb"), Network(sim), ["b"],
+                heartbeat_interval=0,
+            )
+
+
+class TestDeterminism:
+    def test_url_hash_stable_across_runs(self):
+        def backend_of():
+            sim, cluster, lb = build("url_hash")
+            req = Request.cgi("/cgi-bin/stable", 0.01, 100)
+            run_trace(sim, cluster, Trace([req]), n_threads=1)
+            return [b for b, n in lb.per_backend.items() if n][0]
+
+        assert backend_of() == backend_of()

@@ -1,0 +1,45 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.metrics import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_scales_to_maximum(self):
+        out = bar_chart("t", [("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0] == "== t =="
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart("t", [("short", 1.0), ("much-longer", 2.0)])
+        lines = out.splitlines()[1:]
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_appended(self):
+        out = bar_chart("t", [("a", 1.5)], unit="s")
+        assert "1.5s" in out
+
+    def test_zero_values(self):
+        out = bar_chart("t", [("a", 0.0), ("b", 0.0)])
+        assert "#" not in out
+
+    def test_empty_items(self):
+        assert bar_chart("t", []) == "== t =="
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", [("a", 1.0)], width=0)
+
+
+class TestSeriesChart:
+    def test_groups_by_x(self):
+        out = series_chart(
+            "rt", [1, 2], [("no-cache", [4.0, 2.0]), ("coop", [3.0, 1.5])]
+        )
+        lines = out.splitlines()
+        assert "no-cache @ 1" in lines[1]
+        assert "coop @ 1" in lines[2]
+        assert "no-cache @ 2" in lines[3]

@@ -1,0 +1,90 @@
+"""Tests for structured experiment-row export."""
+
+import json
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.metrics import row_to_dict, rows_to_csv, rows_to_json, write_rows
+
+
+@dataclass(frozen=True)
+class SampleRow:
+    name: str
+    value: float
+    count: int
+
+    @property
+    def doubled(self) -> float:
+        return self.value * 2
+
+
+ROWS = [SampleRow("a", 1.5, 3), SampleRow("b", 2.5, 7)]
+
+
+class TestRowToDict:
+    def test_fields_and_properties(self):
+        d = row_to_dict(ROWS[0])
+        assert d == {"name": "a", "value": 1.5, "count": 3, "doubled": 3.0}
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            row_to_dict({"not": "a dataclass"})
+
+    def test_special_floats(self):
+        @dataclass(frozen=True)
+        class R:
+            x: float
+
+        assert row_to_dict(R(float("inf")))["x"] == "inf"
+        assert row_to_dict(R(float("nan")))["x"] is None
+
+    def test_non_scalar_values_stringified(self):
+        @dataclass(frozen=True)
+        class R:
+            items: tuple
+
+        assert row_to_dict(R((1, 2)))["items"] == "(1, 2)"
+
+
+class TestSerializers:
+    def test_json_round_trip(self):
+        data = json.loads(rows_to_json(ROWS))
+        assert len(data) == 2
+        assert data[1]["doubled"] == 5.0
+
+    def test_csv_header_and_rows(self):
+        text = rows_to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value,count,doubled"
+        assert lines[1].startswith("a,1.5,3")
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestWriteRows:
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        write_rows(ROWS, path)
+        assert json.loads(path.read_text())[0]["name"] == "a"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows(ROWS, path)
+        assert path.read_text().startswith("name,value")
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows(ROWS, tmp_path / "rows.xlsx")
+
+    def test_real_experiment_rows_export(self, tmp_path):
+        from repro.experiments import run_table3
+
+        rows = run_table3(node_counts=(2,), n_requests=5)
+        path = tmp_path / "t3.json"
+        write_rows(rows, path)
+        data = json.loads(path.read_text())
+        assert data[0]["nodes"] == 2
+        assert "increase" in data[0]  # derived property exported

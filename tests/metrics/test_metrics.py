@@ -1,0 +1,109 @@
+"""Tests for metrics and text reporting."""
+
+import pytest
+
+from repro.core import NodeStats, ClusterStats
+from repro.metrics import (
+    HitRatioSummary,
+    format_value,
+    hit_ratio_summary,
+    percent_of,
+    render_table,
+    speedup,
+)
+from repro.workload import Request, Trace
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestPercentOf:
+    def test_basic(self):
+        assert percent_of(478, 478) == 100.0
+        assert percent_of(239, 478) == pytest.approx(50.0)
+
+    def test_zero_whole(self):
+        assert percent_of(5, 0) == 0.0
+
+
+class TestHitRatioSummary:
+    def test_from_cluster_stats(self):
+        a = NodeStats(node="n0", local_hits=10, remote_hits=5, misses=5)
+        b = NodeStats(node="n1", local_hits=2, remote_hits=3, misses=5)
+        stats = ClusterStats.aggregate([a, b])
+        trace = Trace(
+            [Request.cgi("/c", 1.0, 10)] * 31  # 30 repeats possible
+        )
+        summary = hit_ratio_summary(stats, trace)
+        assert summary.hits == 20
+        assert summary.upper_bound == 30
+        assert summary.percent_of_upper_bound == pytest.approx(66.666, rel=1e-3)
+        assert summary.hit_ratio == pytest.approx(20 / 30)
+        assert summary.nodes == 2
+
+    def test_empty(self):
+        summary = HitRatioSummary(
+            nodes=1, hits=0, local_hits=0, remote_hits=0, misses=0,
+            upper_bound=0, false_hits=0, false_misses=0,
+        )
+        assert summary.hit_ratio == 0.0
+        assert summary.percent_of_upper_bound == 0.0
+
+
+class TestClusterStats:
+    def test_aggregation_sums(self):
+        a = NodeStats(node="a", requests=5, local_hits=1, misses=2, inserts=2,
+                      false_hits=1)
+        b = NodeStats(node="b", requests=7, remote_hits=4, misses=1, inserts=1)
+        s = ClusterStats.aggregate([a, b])
+        assert s.requests == 12
+        assert s.hits == 5
+        assert s.misses == 3
+        assert s.inserts == 3
+        assert s.false_hits == 1
+
+    def test_merged_response_times(self):
+        a, b = NodeStats(node="a"), NodeStats(node="b")
+        a.response_times.observe(1.0)
+        b.response_times.observe(3.0)
+        merged = ClusterStats.aggregate([a, b]).merged_response_times()
+        assert merged.count == 2
+        assert merged.mean == 2.0
+
+    def test_node_stats_derived(self):
+        n = NodeStats(node="n", local_hits=6, remote_hits=2, misses=2)
+        assert n.hits == 8
+        assert n.cacheable_requests == 10
+        assert n.hit_ratio == 0.8
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "long-header"], [[1, 2.5], [100, 0.125]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert "long-header" in lines[1]
+        assert len({len(l) for l in lines[1:4]}) == 1  # consistent width
+
+    def test_render_with_note(self):
+        out = render_table("T", ["x"], [[1]], note="hello")
+        assert out.endswith("(hello)")
+
+    def test_empty_rows(self):
+        out = render_table("T", ["col"], [])
+        assert "col" in out
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(1234.0) == "1,234"
+        assert format_value(12.345) == "12.35"
+        assert format_value(0.12345) == "0.1235"
+        assert format_value(float("nan")) == "n/a"
+        assert format_value("s") == "s"
+        assert format_value(7) == "7"

@@ -1,0 +1,94 @@
+"""Tests for the output-analysis statistics (MSER-5, batch means)."""
+
+import random
+
+import pytest
+
+from repro.metrics import MeanCI, batch_means_ci, compare_runs, mser5_truncation
+
+
+def iid_samples(n, mean=10.0, spread=1.0, seed=0):
+    rng = random.Random(seed)
+    return [rng.gauss(mean, spread) for _ in range(n)]
+
+
+class TestMser5:
+    def test_no_transient_keeps_everything(self):
+        cut = mser5_truncation(iid_samples(500))
+        assert cut < 100  # little or nothing dropped
+
+    def test_detects_initial_transient(self):
+        # 100 wildly-biased warm-up samples, then steady state.
+        transient = [100.0 + i for i in range(100)]
+        steady = iid_samples(900, mean=10.0)
+        cut = mser5_truncation(transient + steady)
+        assert 80 <= cut <= 250
+
+    def test_short_series_untouched(self):
+        assert mser5_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_multiple_of_batch_size(self):
+        cut = mser5_truncation(iid_samples(300))
+        assert cut % 5 == 0
+
+
+class TestBatchMeansCI:
+    def test_covers_true_mean_iid(self):
+        ci = batch_means_ci(iid_samples(2_000, mean=10.0), n_batches=20)
+        assert ci.contains(10.0)
+        assert ci.half_width < 0.5
+
+    def test_half_width_shrinks_with_samples(self):
+        small = batch_means_ci(iid_samples(400, seed=1), truncate=False)
+        large = batch_means_ci(iid_samples(8_000, seed=1), truncate=False)
+        assert large.half_width < small.half_width
+
+    def test_truncation_removes_transient_bias(self):
+        data = [100.0] * 100 + iid_samples(2_000, mean=10.0)
+        biased = batch_means_ci(data, truncate=False)
+        clean = batch_means_ci(data, truncate=True)
+        assert abs(clean.mean - 10.0) < abs(biased.mean - 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0] * 100, confidence=1.5)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0] * 100, n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0] * 5, n_batches=20)
+
+    def test_meanci_accessors(self):
+        ci = MeanCI(mean=10.0, half_width=1.0, confidence=0.95, n=100)
+        assert ci.low == 9.0
+        assert ci.high == 11.0
+        assert ci.contains(10.5)
+        assert not ci.contains(12.0)
+        assert "95%" in str(ci)
+
+
+class TestCompareRuns:
+    def test_detects_real_difference(self):
+        a = iid_samples(2_000, mean=12.0, seed=2)
+        b = iid_samples(2_000, mean=10.0, seed=3)
+        ci_a, ci_b, diff = compare_runs(a, b)
+        assert not diff.contains(0.0)
+        assert diff.mean == pytest.approx(2.0, abs=0.3)
+
+    def test_no_difference_straddles_zero(self):
+        a = iid_samples(2_000, mean=10.0, seed=4)
+        b = iid_samples(2_000, mean=10.0, seed=5)
+        _, _, diff = compare_runs(a, b)
+        assert diff.contains(0.0)
+
+    def test_on_real_simulation_output(self):
+        """Caching vs no caching: the difference CI must exclude zero."""
+        from repro.core import CacheMode
+        from repro.experiments import run_cluster_trace
+        from repro.workload import zipf_cgi_trace
+
+        trace = zipf_cgi_trace(600, 60, cpu_time_mean=0.3, seed=6)
+        nc, _ = run_cluster_trace(2, CacheMode.NONE, trace, n_threads=8)
+        cc, _ = run_cluster_trace(2, CacheMode.COOPERATIVE, trace, n_threads=8)
+        _, _, diff = compare_runs(nc.samples, cc.samples, n_batches=10)
+        assert diff.mean > 0  # no-cache is slower
+        assert not diff.contains(0.0)

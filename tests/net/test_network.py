@@ -1,0 +1,158 @@
+"""Unit tests for the switched-LAN model."""
+
+import pytest
+
+from repro.net import LAN_100MBIT, Network, UnknownPort
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, latency=0.001, bandwidth=1e6)
+
+
+class TestDelivery:
+    def test_message_arrives_after_transfer_plus_latency(self, sim, net):
+        box = net.register("b", "svc")
+        got = []
+
+        def receiver():
+            msg = yield box.get()
+            got.append((sim.now, msg.payload))
+
+        net.send("a", "b", "svc", payload="hello", size=500_000)
+        sim.process(receiver())
+        sim.run()
+        assert got == [(pytest.approx(0.501), "hello")]
+
+    def test_delivery_event_fires_with_message(self, sim, net):
+        net.register("b", "svc")
+        seen = []
+
+        def sender():
+            msg = yield net.send("a", "b", "svc", payload=1, size=1000)
+            seen.append((msg.src, msg.dst, msg.in_flight_time))
+
+        sim.process(sender())
+        sim.run()
+        assert seen == [("a", "b", pytest.approx(0.002))]
+
+    def test_send_to_unregistered_port_raises(self, net):
+        with pytest.raises(UnknownPort):
+            net.send("a", "b", "nope", payload=None, size=0)
+
+    def test_mailbox_lookup(self, net):
+        box = net.register("h", "p")
+        assert net.mailbox("h", "p") is box
+        with pytest.raises(UnknownPort):
+            net.mailbox("h", "other")
+
+    def test_zero_size_message_costs_latency_only(self, sim, net):
+        box = net.register("b", "svc")
+        got = []
+
+        def receiver():
+            yield box.get()
+            got.append(sim.now)
+
+        net.send("a", "b", "svc", payload=None, size=0)
+        sim.process(receiver())
+        sim.run()
+        assert got == [pytest.approx(0.001)]
+
+    def test_negative_size_rejected(self, net):
+        net.register("b", "svc")
+        with pytest.raises(ValueError):
+            net.send("a", "b", "svc", payload=None, size=-1)
+
+
+class TestNicSerialization:
+    def test_sender_nic_serializes_messages(self, sim, net):
+        box = net.register("b", "svc")
+        times = []
+
+        def receiver():
+            for _ in range(2):
+                yield box.get()
+                times.append(sim.now)
+
+        # Two 1 MB messages over a 1 MB/s link from the same sender.
+        net.send("a", "b", "svc", payload=1, size=1_000_000)
+        net.send("a", "b", "svc", payload=2, size=1_000_000)
+        sim.process(receiver())
+        sim.run()
+        assert times == [pytest.approx(1.001), pytest.approx(2.001)]
+
+    def test_distinct_senders_transmit_in_parallel(self, sim, net):
+        box = net.register("dst", "svc")
+        times = []
+
+        def receiver():
+            for _ in range(2):
+                yield box.get()
+                times.append(sim.now)
+
+        net.send("a", "dst", "svc", payload=1, size=1_000_000)
+        net.send("b", "dst", "svc", payload=2, size=1_000_000)
+        sim.process(receiver())
+        sim.run()
+        assert times == [pytest.approx(1.001), pytest.approx(1.001)]
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_peers(self, sim, net):
+        boxes = {h: net.register(h, "update") for h in ("b", "c", "d")}
+        got = []
+
+        def receiver(host):
+            msg = yield boxes[host].get()
+            got.append((host, msg.payload))
+
+        for host in boxes:
+            sim.process(receiver(host))
+        net.broadcast("a", ["b", "c", "d"], "update", payload="ins", size=100)
+        sim.run()
+        assert sorted(got) == [("b", "ins"), ("c", "ins"), ("d", "ins")]
+
+    def test_broadcast_copies_serialize_on_sender(self, sim, net):
+        boxes = {h: net.register(h, "u") for h in ("b", "c")}
+        times = {}
+
+        def receiver(host):
+            yield boxes[host].get()
+            times[host] = sim.now
+
+        for host in boxes:
+            sim.process(receiver(host))
+        net.broadcast("a", ["b", "c"], "u", payload=None, size=500_000)
+        sim.run()
+        assert times["b"] == pytest.approx(0.501)
+        assert times["c"] == pytest.approx(1.001)
+
+
+class TestAccounting:
+    def test_counters(self, sim, net):
+        net.register("b", "svc")
+        net.send("a", "b", "svc", payload=None, size=1000)
+        net.send("a", "b", "svc", payload=None, size=2000)
+        # Drain mailbox so run() terminates quickly.
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 3000
+
+    def test_transfer_time_helper(self, net):
+        assert net.transfer_time(1_000_000) == pytest.approx(1.001)
+
+    def test_default_bandwidth_is_100mbit(self, sim):
+        assert Network(sim).bandwidth == LAN_100MBIT
+
+    def test_bad_parameters_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, latency=-1)
+        with pytest.raises(ValueError):
+            Network(sim, bandwidth=0)

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the cache substrate."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cache import POLICY_NAMES, CacheEntry, CacheStore, make_policy
+from repro.hosts import Machine
+from repro.sim import Simulator
+
+# -- strategies ------------------------------------------------------------
+
+urls = st.integers(min_value=0, max_value=30).map(lambda i: f"/cgi-bin/u?{i}")
+sizes = st.integers(min_value=1, max_value=100_000)
+exec_times = st.floats(min_value=0.001, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def entries(draw, url=None):
+    return CacheEntry(
+        url=url if url is not None else draw(urls),
+        owner="n0",
+        size=draw(sizes),
+        exec_time=draw(exec_times),
+        created=draw(st.floats(min_value=0, max_value=1000, allow_nan=False)),
+    )
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "access", "remove"]), urls, sizes, exec_times),
+    min_size=1,
+    max_size=120,
+)
+
+
+# -- policies -----------------------------------------------------------------
+
+
+class TestPolicyProperties:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @given(operations=ops)
+    @settings(max_examples=30, deadline=None)
+    def test_victim_is_always_tracked(self, policy_name, operations):
+        """After any op sequence, a non-empty policy's victim is tracked."""
+        policy = make_policy(policy_name)
+        tracked = {}
+        clock = 0.0
+        for op, url, size, exec_time in operations:
+            clock += 1.0
+            if op == "insert" and url not in tracked:
+                e = CacheEntry(
+                    url=url, owner="n0", size=size, exec_time=exec_time,
+                    created=clock,
+                )
+                tracked[url] = e
+                policy.on_insert(e, clock)
+            elif op == "access" and url in tracked:
+                tracked[url].touch(clock)
+                policy.on_access(tracked[url], clock)
+            elif op == "remove" and url in tracked:
+                policy.on_remove(tracked.pop(url))
+        assert len(policy) == len(tracked)
+        if tracked:
+            victim = policy.victim()
+            assert victim.url in tracked
+            assert tracked[victim.url] is victim
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @given(operations=ops)
+    @settings(max_examples=20, deadline=None)
+    def test_draining_by_eviction_empties_policy(self, policy_name, operations):
+        policy = make_policy(policy_name)
+        tracked = {}
+        for i, (op, url, size, exec_time) in enumerate(operations):
+            if url not in tracked:
+                e = CacheEntry(
+                    url=url, owner="n0", size=size, exec_time=exec_time,
+                    created=float(i),
+                )
+                tracked[url] = e
+                policy.on_insert(e, float(i))
+        while tracked:
+            victim = policy.victim()
+            assert victim.url in tracked
+            policy.on_remove(tracked.pop(victim.url))
+        assert len(policy) == 0
+
+
+# -- store ---------------------------------------------------------------------
+
+
+class TestStoreProperties:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        operations=ops,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_store_invariants(self, policy_name, capacity, operations):
+        """Capacity bound, policy/store agreement, file existence."""
+        fs = Machine(Simulator(), "n0").fs
+        store = CacheStore(fs, capacity=capacity, policy=policy_name, owner="n0")
+        clock = 0.0
+        for op, url, size, exec_time in operations:
+            clock += 1.0
+            if op == "insert":
+                store.insert(
+                    CacheEntry(
+                        url=url, owner="n0", size=size, exec_time=exec_time,
+                        created=clock,
+                    ),
+                    clock,
+                )
+            elif op == "access":
+                if url in store:
+                    store.record_access(url, clock)
+            elif op == "remove":
+                store.remove(url)
+            # invariants hold after every operation
+            assert len(store) <= capacity
+            assert len(store.policy) == len(store)
+            for entry in store.entries():
+                assert fs.exists(entry.file_path)
+
+    @given(operations=ops)
+    @settings(max_examples=20, deadline=None)
+    def test_insert_eviction_accounting(self, operations):
+        fs = Machine(Simulator(), "n0").fs
+        store = CacheStore(fs, capacity=3, policy="lru", owner="n0")
+        inserted = evicted = 0
+        for i, (op, url, size, exec_time) in enumerate(operations):
+            if op != "insert":
+                continue
+            out = store.insert(
+                CacheEntry(url=url, owner="n0", size=size,
+                           exec_time=exec_time, created=float(i)),
+                float(i),
+            )
+            inserted += 1
+            evicted += len(out)
+        assert store.insertions == inserted
+        assert store.evictions == evicted
+        # Everything inserted is either still present or was evicted/replaced.
+        assert len(store) <= min(3, inserted)

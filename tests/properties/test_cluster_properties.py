@@ -1,0 +1,133 @@
+"""End-to-end property tests: whole-cluster invariants under random
+workloads, cluster shapes, and cache configurations."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.clients import ClientFleet
+from repro.core import CacheMode, SwalaCluster, SwalaConfig
+from repro.sim import Simulator
+from repro.workload import Request, Trace
+
+
+@st.composite
+def workloads(draw):
+    n_urls = draw(st.integers(min_value=1, max_value=12))
+    n_requests = draw(st.integers(min_value=1, max_value=60))
+    cpu_times = [
+        draw(st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+        for _ in range(n_urls)
+    ]
+    picks = [
+        draw(st.integers(min_value=0, max_value=n_urls - 1))
+        for _ in range(n_requests)
+    ]
+    return Trace(
+        [
+            Request.cgi(f"/cgi-bin/u?{i}", cpu_time=cpu_times[i],
+                        response_size=500 + i)
+            for i in picks
+        ]
+    )
+
+
+cluster_shapes = st.tuples(
+    st.integers(min_value=1, max_value=4),   # nodes
+    st.integers(min_value=1, max_value=6),   # client threads
+    st.integers(min_value=1, max_value=30),  # cache capacity
+    st.sampled_from([CacheMode.STANDALONE, CacheMode.COOPERATIVE]),
+)
+
+
+def run_cluster(trace, n_nodes, n_threads, capacity, mode):
+    sim = Simulator()
+    cluster = SwalaCluster(
+        sim, n_nodes, SwalaConfig(mode=mode, cache_capacity=capacity)
+    )
+    cluster.start()
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names,
+        n_threads=n_threads,
+    )
+    times = fleet.run()
+    return times, fleet, cluster
+
+
+class TestClusterInvariants:
+    @given(trace=workloads(), shape=cluster_shapes)
+    @settings(max_examples=25, deadline=None)
+    def test_every_request_answered_exactly_once(self, trace, shape):
+        n_nodes, n_threads, capacity, mode = shape
+        times, fleet, cluster = run_cluster(trace, *shape)
+        assert times.count == len(trace)
+        assert len(fleet.responses()) == len(trace)
+        assert cluster.stats().requests == len(trace)
+
+    @given(trace=workloads(), shape=cluster_shapes)
+    @settings(max_examples=25, deadline=None)
+    def test_hit_accounting_closed(self, trace, shape):
+        """hits + misses == cacheable requests; hits <= theoretical bound
+        (+0: the bound is exact because every request is cacheable CGI)."""
+        times, fleet, cluster = run_cluster(trace, *shape)
+        stats = cluster.stats()
+        assert stats.hits + stats.misses == len(trace)
+        assert stats.hits <= trace.max_possible_hits()
+
+    @given(trace=workloads(), shape=cluster_shapes)
+    @settings(max_examples=25, deadline=None)
+    def test_store_capacity_respected(self, trace, shape):
+        n_nodes, n_threads, capacity, mode = shape
+        times, fleet, cluster = run_cluster(trace, *shape)
+        for server in cluster.servers:
+            assert len(server.cacher.store) <= capacity
+
+    @given(trace=workloads(), shape=cluster_shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_directory_self_consistency_after_settle(self, trace, shape):
+        """After broadcasts settle, a node's own table matches its store,
+        and every peer replica refers to a URL the owner actually had."""
+        n_nodes, n_threads, capacity, mode = shape
+        times, fleet, cluster = run_cluster(trace, *shape)
+        sim = cluster.sim
+        sim.run(until=sim.now + 5.0)  # drain in-flight broadcasts
+        for server in cluster.servers:
+            own = server.cacher.directory.table(server.name)
+            store_urls = {e.url for e in server.cacher.store.entries()}
+            assert set(own) == store_urls
+        if mode is CacheMode.COOPERATIVE and n_nodes > 1:
+            for server in cluster.servers:
+                for peer in cluster.servers:
+                    if peer is server:
+                        continue
+                    replica = server.cacher.directory.table(peer.name)
+                    peer_store = {e.url for e in peer.cacher.store.entries()}
+                    # Replicas converge to the owner's store contents.
+                    assert set(replica) == peer_store
+
+    @given(trace=workloads(), shape=cluster_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_response_sources_are_consistent_with_stats(self, trace, shape):
+        times, fleet, cluster = run_cluster(trace, *shape)
+        stats = cluster.stats()
+        sources = [r.source for r in fleet.responses()]
+        assert sources.count("local-cache") == stats.local_hits
+        assert sources.count("remote-cache") == stats.remote_hits
+        assert sources.count("exec") == stats.misses
+
+    @given(trace=workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism_end_to_end(self, trace):
+        a, _, ca = run_cluster(trace, 2, 3, 10, CacheMode.COOPERATIVE)
+        b, _, cb = run_cluster(trace, 2, 3, 10, CacheMode.COOPERATIVE)
+        assert a.samples == b.samples
+        assert ca.stats().hits == cb.stats().hits
+
+    @given(trace=workloads())
+    @settings(max_examples=10, deadline=None)
+    def test_cooperative_never_fewer_hits_than_standalone_multi_node(self, trace):
+        """With ample capacity and identical request routing, sharing can
+        only help (up to the rare false-miss windows, bounded below)."""
+        _, _, sa = run_cluster(trace, 3, 3, 1_000, CacheMode.STANDALONE)
+        _, _, co = run_cluster(trace, 3, 3, 1_000, CacheMode.COOPERATIVE)
+        assert co.stats().hits >= sa.stats().hits - co.stats().false_misses

@@ -1,0 +1,176 @@
+"""Property-based tests for the simulation engine and measurement tools."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sim import ProcessorSharing, Simulator, Tally
+from repro.workload import Request, Trace, analyze_caching_potential
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestTallyProperties:
+    @given(xs=st.lists(floats, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_matches_numpy_style_reference(self, xs):
+        t = Tally()
+        for x in xs:
+            t.observe(x)
+        assert t.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-9)
+        assert t.minimum == min(xs)
+        assert t.maximum == max(xs)
+
+    @given(
+        xs=st.lists(floats, min_size=1, max_size=100),
+        ys=st.lists(floats, min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, xs, ys):
+        combined = Tally()
+        for v in xs + ys:
+            combined.observe(v)
+        a, b = Tally(), Tally()
+        for v in xs:
+            a.observe(v)
+        for v in ys:
+            b.observe(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert a.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-6)
+
+    @given(xs=st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                       min_size=2, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_percentiles_bounded_and_monotone(self, xs):
+        t = Tally()
+        for x in xs:
+            t.observe(x)
+        qs = [t.percentile(q) for q in (0, 25, 50, 75, 100)]
+        assert qs == sorted(qs)
+        assert qs[0] == min(xs)
+        assert qs[-1] == max(xs)
+
+
+class TestProcessorSharingProperties:
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        ncpus=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_work_conservation_and_sojourn_bounds(self, demands, ncpus):
+        sim = Simulator()
+        cpu = ProcessorSharing(sim, ncpus=ncpus)
+        sojourns = []
+
+        def job(d):
+            s = yield cpu.execute(d)
+            sojourns.append((d, s))
+
+        for d in demands:
+            sim.process(job(d))
+        sim.run()
+        # All work served, exactly.
+        assert cpu.total_demand_served == pytest.approx(sum(demands), rel=1e-9)
+        # Sojourn >= demand (can't run faster than a dedicated CPU)...
+        for d, s in sojourns:
+            assert s >= d - 1e-9
+            # ...and <= serialized execution of everything.
+            assert s <= sum(demands) + 1e-9
+        # Makespan bounded by total work (1 CPU worst case) and at least
+        # total/ncpus (can't beat perfect parallelism).
+        assert sim.now <= sum(demands) + 1e-9
+        assert sim.now >= sum(demands) / ncpus - 1e-9
+
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equal_arrivals_finish_in_demand_order(self, demands):
+        sim = Simulator()
+        cpu = ProcessorSharing(sim, ncpus=1)
+        finish = {}
+
+        def job(i, d):
+            yield cpu.execute(d)
+            finish[i] = sim.now
+
+        for i, d in enumerate(demands):
+            sim.process(job(i, d))
+        sim.run()
+        order = sorted(range(len(demands)), key=lambda i: finish[i])
+        by_demand = sorted(range(len(demands)), key=lambda i: (demands[i]))
+        # PS with simultaneous arrivals: completion order == demand order
+        # (ties may complete together, so compare finish times, not indices).
+        for a, b in zip(order, order[1:]):
+            assert demands[a] <= demands[b] + 1e-9
+
+
+class TestAnalysisProperties:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),   # url id
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotonicity_and_bounds(self, data):
+        # One exec time per URL (as in a real log).
+        times = {}
+        reqs = []
+        for url_id, t in data:
+            times.setdefault(url_id, t)
+            reqs.append(
+                Request.cgi(f"/c?{url_id}", times[url_id], 100)
+            )
+        trace = Trace(reqs)
+        rows = analyze_caching_potential(trace, thresholds=[0.0, 0.5, 1.0, 5.0])
+        total = trace.total_service_time()
+        prev = None
+        for row in rows:
+            assert 0 <= row.time_saved <= total + 1e-9
+            assert 0 <= row.saved_percent <= 100 + 1e-9
+            assert row.unique_repeats <= row.total_repeats or row.total_repeats == 0
+            assert row.total_repeats <= row.long_requests
+            if prev is not None:
+                assert row.long_requests <= prev.long_requests
+                assert row.total_repeats <= prev.total_repeats
+                assert row.time_saved <= prev.time_saved + 1e-9
+            prev = row
+
+
+class TestTraceProperties:
+    @given(
+        url_ids=st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                         max_size=100),
+        n=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_preserves_requests(self, url_ids, n):
+        trace = Trace([Request.file(f"/f{i}", 100) for i in url_ids])
+        parts = trace.split(n)
+        recombined = sorted(r.url for p in parts for r in p)
+        assert recombined == sorted(r.url for r in trace)
+
+    @given(url_ids=st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                            max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_unique_plus_repeats_is_total(self, url_ids):
+        trace = Trace([Request.file(f"/f{i}", 100) for i in url_ids])
+        assert trace.unique_count + trace.repeat_count == len(trace)
+        assert trace.max_possible_hits() == trace.repeat_count

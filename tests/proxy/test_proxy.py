@@ -1,0 +1,145 @@
+"""Tests for the forward proxy cache."""
+
+import pytest
+
+from repro.clients import ClientFleet, ClientThread
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.proxy import ProxyCache
+from repro.sim import Simulator
+from repro.workload import Request, Trace
+
+
+def build(cache_dynamic=False, dynamic_ttl=60.0, capacity=100):
+    sim = Simulator()
+    wan = Network(sim, latency=0.05, bandwidth=1e6, name="wan")
+    lan = Network(sim, name="lan")
+    origin = SwalaServer(
+        sim, Machine(sim, "origin"), wan, ["origin"],
+        SwalaConfig(mode=CacheMode.NONE), name="origin",
+    )
+    proxy = ProxyCache(
+        sim, Machine(sim, "proxy"), lan=lan, wan=wan, origin="origin",
+        cache_dynamic=cache_dynamic, dynamic_ttl=dynamic_ttl,
+        capacity=capacity,
+    )
+    return sim, lan, origin, proxy
+
+
+def run(sim, lan, origin, proxy, requests, install=True):
+    if install:
+        origin.install_files(Trace(requests))
+    origin.start()
+    proxy.start()
+    t = ClientThread(sim, lan, "browser", "proxy", requests)
+    sim.run(until=t.start())
+    return t
+
+
+FILE = Request.file("/docs/page.html", 20_000)
+CGI = Request.cgi("/cgi-bin/q?x=1", 0.4, 5_000)
+PRIVATE = Request.cgi("/cgi-bin/mybank", 0.4, 5_000, cacheable=False)
+
+
+class TestFileCaching:
+    def test_first_fetch_via_origin_then_hits(self):
+        sim, lan, origin, proxy = build()
+        t = run(sim, lan, origin, proxy, [FILE, FILE, FILE])
+        assert proxy.stats.misses == 1
+        assert proxy.stats.local_hits == 2
+        assert origin.stats.requests == 1
+        assert t.responses[0].source.startswith("via-proxy")
+        assert t.responses[1].source == "proxy-cache"
+
+    def test_hit_avoids_wan_latency(self):
+        sim, lan, origin, proxy = build()
+        t = run(sim, lan, origin, proxy, [FILE, FILE])
+        miss_rt, hit_rt = t.response_times.samples
+        assert hit_rt < miss_rt / 3
+
+    def test_responses_preserve_request_identity(self):
+        sim, lan, origin, proxy = build()
+        t = run(sim, lan, origin, proxy, [FILE, CGI])
+        assert t.responses[0].request == FILE
+        assert t.responses[1].request == CGI
+
+
+class TestDynamicPolicy:
+    def test_default_never_caches_cgi(self):
+        sim, lan, origin, proxy = build(cache_dynamic=False)
+        run(sim, lan, origin, proxy, [CGI, CGI, CGI])
+        assert proxy.stats.local_hits == 0
+        assert origin.stats.cgi_executed == 3
+
+    def test_opt_in_caches_shareable_cgi(self):
+        sim, lan, origin, proxy = build(cache_dynamic=True)
+        run(sim, lan, origin, proxy, [CGI, CGI, CGI])
+        assert proxy.stats.local_hits == 2
+        assert origin.stats.cgi_executed == 1
+
+    def test_never_caches_authenticated_content(self):
+        sim, lan, origin, proxy = build(cache_dynamic=True)
+        run(sim, lan, origin, proxy, [PRIVATE, PRIVATE])
+        assert proxy.stats.local_hits == 0
+        assert origin.stats.cgi_executed == 2
+
+    def test_dynamic_entries_expire(self):
+        sim, lan, origin, proxy = build(cache_dynamic=True, dynamic_ttl=5.0)
+        origin.start()
+        proxy.start()
+        t1 = ClientThread(sim, lan, "b1", "proxy", [CGI])
+        sim.run(until=t1.start())
+        sim.run(until=sim.now + 10.0)  # past the TTL
+        t2 = ClientThread(sim, lan, "b2", "proxy", [CGI])
+        sim.run(until=t2.start())
+        assert origin.stats.cgi_executed == 2
+
+    def test_file_entries_do_not_expire(self):
+        sim, lan, origin, proxy = build(cache_dynamic=True, dynamic_ttl=5.0)
+        origin.install_files(Trace([FILE]))
+        origin.start()
+        proxy.start()
+        t1 = ClientThread(sim, lan, "b1", "proxy", [FILE])
+        sim.run(until=t1.start())
+        sim.run(until=sim.now + 10.0)
+        t2 = ClientThread(sim, lan, "b2", "proxy", [FILE])
+        sim.run(until=t2.start())
+        assert proxy.stats.local_hits == 1
+
+
+class TestCapacityAndValidation:
+    def test_capacity_enforced(self):
+        sim, lan, origin, proxy = build(capacity=2)
+        files = [Request.file(f"/f{i}.html", 1_000) for i in range(5)]
+        run(sim, lan, origin, proxy, files)
+        assert len(proxy.store) <= 2
+
+    def test_validation(self):
+        sim = Simulator()
+        wan, lan = Network(sim, name="w"), Network(sim, name="l")
+        m = Machine(sim, "p")
+        with pytest.raises(ValueError):
+            ProxyCache(sim, m, lan, wan, "o", n_threads=0)
+        with pytest.raises(ValueError):
+            ProxyCache(sim, m, lan, wan, "o", dynamic_ttl=0)
+
+    def test_double_start(self):
+        sim, lan, origin, proxy = build()
+        proxy.start()
+        with pytest.raises(RuntimeError):
+            proxy.start()
+
+
+class TestSharedAcrossClients:
+    def test_second_client_reuses_first_clients_fetch(self):
+        sim, lan, origin, proxy = build()
+        origin.install_files(Trace([FILE]))
+        origin.start()
+        proxy.start()
+        a = ClientThread(sim, lan, "alice", "proxy", [FILE])
+        sim.run(until=a.start())
+        b = ClientThread(sim, lan, "bob", "proxy", [FILE])
+        sim.run(until=b.start())
+        assert origin.stats.requests == 1
+        assert proxy.stats.local_hits == 1

@@ -1,0 +1,134 @@
+"""Behavioural tests for the baseline server models (HTTPd, Enterprise)."""
+
+import pytest
+
+from repro.clients import ClientFleet, ClientThread
+from repro.core import CacheMode, SwalaConfig, SwalaServer
+from repro.hosts import Machine
+from repro.net import Network
+from repro.servers import EnterpriseServer, NcsaHttpd, ThreadPoolServer
+from repro.sim import Simulator
+from repro.workload import Request, Trace, nullcgi_trace, webstone_file_trace
+
+
+def build(cls, **kw):
+    sim = Simulator()
+    net = Network(sim)
+    machine = Machine(sim, "srv")
+    server = cls(sim, machine, net, **kw)
+    return sim, net, server
+
+
+def run_requests(sim, net, server, requests, n_threads=1):
+    server.install_files(Trace(requests))
+    server.start()
+    fleet = ClientFleet(sim, net, Trace(requests), servers=["srv"], n_threads=n_threads)
+    return fleet.run(), fleet
+
+
+FILE = Request.file("/f.html", 5_000)
+CGI = Request.cgi("/cgi-bin/x", 0.2, 500)
+
+
+class TestHttpd:
+    def test_serves_files_and_cgi(self):
+        sim, net, srv = build(NcsaHttpd)
+        times, fleet = run_requests(sim, net, srv, [FILE, CGI, FILE])
+        assert srv.stats.files_served == 2
+        assert srv.stats.cgi_executed == 1
+        assert len(fleet.responses()) == 3
+
+    def test_fork_makes_it_slower_than_threaded(self):
+        sim1, net1, httpd = build(NcsaHttpd)
+        t_httpd, _ = run_requests(sim1, net1, httpd, [FILE] * 10)
+        sim2, net2, pooled = build(ThreadPoolServer)
+        t_pool, _ = run_requests(sim2, net2, pooled, [FILE] * 10)
+        assert t_httpd.mean > 3 * t_pool.mean
+
+    def test_double_start_rejected(self):
+        sim, net, srv = build(NcsaHttpd)
+        srv.start()
+        with pytest.raises(RuntimeError):
+            srv.start()
+
+    def test_unbounded_concurrency(self):
+        # 50 concurrent slow CGIs all make progress (no pool limit).
+        sim, net, srv = build(NcsaHttpd)
+        srv.start()
+        slow = Request.cgi("/cgi-bin/slow?u={}", 1.0, 100)
+        reqs = [Request.cgi(f"/cgi-bin/slow?u={i}", 1.0, 100) for i in range(50)]
+        fleet = ClientFleet(sim, net, Trace(reqs), servers=["srv"], n_threads=50)
+        times = fleet.run()
+        assert times.count == 50
+
+
+class TestThreadPool:
+    def test_pool_limits_concurrency(self):
+        sim, net, srv = build(ThreadPoolServer, n_threads=2)
+        srv.start()
+        reqs = [Request.cgi(f"/cgi-bin/s?u={i}", 1.0, 100) for i in range(4)]
+        fleet = ClientFleet(sim, net, Trace(reqs), servers=["srv"], n_threads=4)
+        times = fleet.run()
+        # With 2 threads, the 3rd/4th requests queue behind the first two:
+        # makespan >= 2 "rounds" of ~1s CGI even with perfect sharing.
+        assert max(times.samples) > 1.9
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            build(ThreadPoolServer, n_threads=0)
+
+
+class TestEnterprise:
+    def test_serves_workload(self):
+        sim, net, srv = build(EnterpriseServer)
+        times, fleet = run_requests(sim, net, srv, [FILE, CGI])
+        assert len(fleet.responses()) == 2
+
+    def test_cgi_slower_than_swala(self):
+        trace = list(nullcgi_trace(20))
+        sim1, net1, ent = build(EnterpriseServer)
+        t_ent, _ = run_requests(sim1, net1, ent, trace)
+
+        sim2 = Simulator()
+        net2 = Network(sim2)
+        m = Machine(sim2, "srv")
+        swala = SwalaServer(
+            sim2, m, net2, ["srv"], SwalaConfig(mode=CacheMode.NONE), name="srv"
+        )
+        swala.start()
+        fleet = ClientFleet(sim2, net2, nullcgi_trace(20), servers=["srv"], n_threads=1)
+        t_swala = fleet.run()
+        assert t_ent.mean > t_swala.mean
+
+    def test_select_scan_cost_grows_with_concurrency(self):
+        # Enterprise loses its low-load edge once many connections are open.
+        def run_at(n_clients, cls):
+            sim, net, srv = build(cls)
+            trace = webstone_file_trace(n_clients * 20, seed=0)
+            srv.install_files(trace)
+            srv.start()
+            fleet = ClientFleet(sim, net, trace, servers=["srv"], n_threads=n_clients)
+            return fleet.run().mean
+
+        few_ent, few_pool = run_at(2, EnterpriseServer), run_at(2, ThreadPoolServer)
+        many_ent, many_pool = run_at(48, EnterpriseServer), run_at(48, ThreadPoolServer)
+        assert few_ent / few_pool < many_ent / many_pool
+
+    def test_open_connection_counter_returns_to_zero(self):
+        sim, net, srv = build(EnterpriseServer)
+        run_requests(sim, net, srv, [FILE] * 5)
+        assert srv._open_connections == 0
+
+
+class TestInstallFiles:
+    def test_creates_only_file_requests(self):
+        sim, net, srv = build(NcsaHttpd)
+        srv.install_files(Trace([FILE, CGI]))
+        assert srv.machine.fs.exists(FILE.url)
+        assert not srv.machine.fs.exists(CGI.url)
+
+    def test_idempotent(self):
+        sim, net, srv = build(NcsaHttpd)
+        srv.install_files(Trace([FILE]))
+        srv.install_files(Trace([FILE]))
+        assert srv.machine.fs.file_count == 1

@@ -1,0 +1,161 @@
+"""Edge-case tests for the engine: condition failures, re-runs, reprs."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestConditionFailures:
+    def test_allof_fails_when_member_fails(self, sim):
+        caught = []
+
+        def failer():
+            yield sim.timeout(1)
+            raise ValueError("inner failure")
+
+        def waiter():
+            try:
+                yield AllOf(sim, [sim.process(failer()), sim.timeout(10)])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == ["inner failure"]
+
+    def test_anyof_failure_beats_success(self, sim):
+        caught = []
+
+        def failer():
+            yield sim.timeout(1)
+            raise KeyError("boom")
+
+        def waiter():
+            try:
+                yield AnyOf(sim, [sim.process(failer()), sim.timeout(5)])
+            except KeyError:
+                caught.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == [1]
+
+    def test_condition_with_already_processed_event(self, sim):
+        fired = []
+
+        def proc():
+            t = sim.timeout(1)
+            yield t  # process it fully
+            cond = AllOf(sim, [t, sim.timeout(2)])
+            yield cond
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [3]
+
+    def test_mixed_simulator_events_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            AllOf(sim, [sim.timeout(1), other.timeout(1)])
+
+
+class TestRunSemantics:
+    def test_run_until_already_processed_event_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "v"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.processed
+        assert sim.run(until=p) == "v"
+
+    def test_run_until_failed_process_raises(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise RuntimeError("died")
+
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="died"):
+            sim.run(until=p)
+
+    def test_multiple_runs_resume_clock(self, sim):
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1)
+
+        sim.process(proc())
+        sim.run(until=3)
+        assert sim.now == 3
+        sim.run(until=7)
+        assert sim.now == 7
+        sim.run()
+        assert sim.now == 10
+
+    def test_run_until_same_time_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(5)
+
+        sim.process(proc())
+        sim.run(until=5)
+        sim.run(until=5)  # must not raise
+        assert sim.now == 5
+
+
+class TestReprs:
+    def test_event_states(self, sim):
+        e = Event(sim)
+        assert "pending" in repr(e)
+        e.succeed()
+        assert "triggered" in repr(e)
+        sim.run()
+        assert "processed" in repr(e)
+
+    def test_process_repr(self, sim):
+        def named():
+            yield sim.timeout(1)
+
+        p = sim.process(named(), name="my-proc")
+        assert "my-proc" in repr(p)
+        assert "alive" in repr(p)
+        sim.run()
+        assert "dead" in repr(p)
+
+    def test_value_before_trigger_raises(self, sim):
+        e = Event(sim)
+        with pytest.raises(RuntimeError):
+            e.value
+        with pytest.raises(RuntimeError):
+            e.ok
+
+
+class TestTimeoutSemantics:
+    def test_timeout_is_born_triggered(self, sim):
+        t = sim.timeout(5)
+        assert t.triggered
+        assert not t.processed
+
+    def test_two_processes_waiting_same_event(self, sim):
+        gate = Event(sim)
+        got = []
+
+        def waiter(tag):
+            value = yield gate
+            got.append((tag, value))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+
+        def trigger():
+            yield sim.timeout(1)
+            gate.succeed("x")
+
+        sim.process(trigger())
+        sim.run()
+        assert sorted(got) == [("a", "x"), ("b", "x")]

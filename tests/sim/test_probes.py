@@ -1,0 +1,121 @@
+"""Tests for observability taps: EventTracer and the periodic sampler."""
+
+import pytest
+
+from repro.sim import EventTracer, ProcessorSharing, Simulator, sample
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventTracer:
+    def test_records_processed_events(self, sim):
+        tracer = EventTracer(sim)
+        tracer.attach()
+
+        def proc():
+            yield sim.timeout(1)
+            yield sim.timeout(2)
+
+        sim.process(proc(), name="worker")
+        sim.run()
+        kinds = [r[1] for r in tracer.records]
+        assert kinds.count("Timeout") == 2
+        assert any(r[2] == "worker" for r in tracer.records)
+
+    def test_context_manager_detaches(self, sim):
+        with EventTracer(sim) as tracer:
+            def proc():
+                yield sim.timeout(1)
+
+            sim.process(proc())
+            sim.run()
+            n_inside = len(tracer)
+        # After detach, further events are not recorded.
+        def proc2():
+            yield sim.timeout(1)
+
+        sim.process(proc2())
+        sim.run()
+        assert len(tracer) == n_inside
+
+    def test_bounded_with_drop_count(self, sim):
+        tracer = EventTracer(sim, maxlen=5)
+        tracer.attach()
+
+        def proc():
+            for _ in range(20):
+                yield sim.timeout(1)
+
+        sim.process(proc())
+        sim.run()
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+
+    def test_exclude_timeouts(self, sim):
+        tracer = EventTracer(sim, include_timeouts=False)
+        tracer.attach()
+
+        def proc():
+            yield sim.timeout(1)
+
+        sim.process(proc())
+        sim.run()
+        assert tracer.of_kind("Timeout") == []
+        assert tracer.of_kind("Process")  # the process-end event
+
+    def test_double_attach_rejected(self, sim):
+        tracer = EventTracer(sim)
+        tracer.attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+
+    def test_bad_maxlen(self, sim):
+        with pytest.raises(ValueError):
+            EventTracer(sim, maxlen=0)
+
+    def test_timestamps_ordered(self, sim):
+        tracer = EventTracer(sim)
+        tracer.attach()
+
+        def proc(d):
+            yield sim.timeout(d)
+
+        for d in (3, 1, 2):
+            sim.process(proc(d))
+        sim.run()
+        times = [r[0] for r in tracer.records]
+        assert times == sorted(times)
+
+
+class TestSampler:
+    def test_samples_cpu_load_curve(self, sim):
+        cpu = ProcessorSharing(sim, ncpus=1)
+
+        def job():
+            yield cpu.execute(5.0)
+
+        sim.process(job())
+        sim.process(job())
+        series = sample(sim, 1.0, lambda: cpu.load, name="load", until=20.0)
+        sim.run()
+        # Two jobs of 5s each sharing 1 CPU: busy until t=10, idle after.
+        assert series.time_average(until=10.0) == pytest.approx(2.0, abs=0.3)
+        assert series.current == 0.0
+
+    def test_until_bounds_sampler(self, sim):
+        series = sample(sim, 1.0, lambda: 7.0, until=5.0)
+        sim.run()
+        assert sim.now <= 5.0
+        assert series.points[-1][0] <= 5.0
+
+    def test_bad_interval(self, sim):
+        with pytest.raises(ValueError):
+            sample(sim, 0.0, lambda: 1.0)
+
+    def test_initial_value_recorded(self, sim):
+        series = sample(sim, 1.0, lambda: 42.0, until=2.0)
+        assert series.points[0] == (0.0, 42.0)
+        sim.run()

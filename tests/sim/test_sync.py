@@ -1,0 +1,233 @@
+"""Unit tests for Lock, Semaphore, and the reader/writer lock."""
+
+import pytest
+
+from repro.sim import Lock, RWLock, Semaphore, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestLock:
+    def test_mutual_exclusion(self, sim):
+        lock = Lock(sim)
+        trace = []
+
+        def proc(tag):
+            yield lock.acquire()
+            trace.append(("in", tag, sim.now))
+            yield sim.timeout(2)
+            trace.append(("out", tag, sim.now))
+            lock.release()
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert trace == [
+            ("in", "a", 0),
+            ("out", "a", 2),
+            ("in", "b", 2),
+            ("out", "b", 4),
+        ]
+
+    def test_fifo_handoff(self, sim):
+        lock = Lock(sim)
+        order = []
+
+        def proc(tag):
+            yield lock.acquire()
+            order.append(tag)
+            yield sim.timeout(1)
+            lock.release()
+
+        for tag in "abcd":
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_release_unlocked_rejected(self, sim):
+        with pytest.raises(RuntimeError):
+            Lock(sim).release()
+
+    def test_contention_counters(self, sim):
+        lock = Lock(sim)
+
+        def proc():
+            yield lock.acquire()
+            yield sim.timeout(3)
+            lock.release()
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert lock.acquisitions == 2
+        assert lock.contended_acquisitions == 1
+        assert lock.wait_time == pytest.approx(3.0)
+
+
+class TestSemaphore:
+    def test_initial_permits(self, sim):
+        sem = Semaphore(sim, value=2)
+        entered = []
+
+        def proc(tag):
+            yield sem.acquire()
+            entered.append((tag, sim.now))
+            yield sim.timeout(5)
+            sem.release()
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert entered == [("a", 0), ("b", 0), ("c", 5)]
+
+    def test_release_without_waiters_increments(self, sim):
+        sem = Semaphore(sim, value=0)
+        sem.release()
+        assert sem.value == 1
+
+    def test_negative_value_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+
+class TestRWLock:
+    def test_concurrent_readers(self, sim):
+        rw = RWLock(sim)
+        active = []
+        peak = []
+
+        def reader():
+            yield rw.acquire_read()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1)
+            active.pop()
+            rw.release_read()
+
+        for _ in range(3):
+            sim.process(reader())
+        sim.run()
+        assert max(peak) == 3
+
+    def test_writer_excludes_readers(self, sim):
+        rw = RWLock(sim)
+        trace = []
+
+        def writer():
+            yield rw.acquire_write()
+            trace.append(("w-in", sim.now))
+            yield sim.timeout(2)
+            trace.append(("w-out", sim.now))
+            rw.release_write()
+
+        def reader():
+            yield sim.timeout(1)  # arrive while writer holds the lock
+            yield rw.acquire_read()
+            trace.append(("r-in", sim.now))
+            rw.release_read()
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.run()
+        assert trace == [("w-in", 0), ("w-out", 2), ("r-in", 2)]
+
+    def test_writer_waits_for_readers(self, sim):
+        rw = RWLock(sim)
+        trace = []
+
+        def reader():
+            yield rw.acquire_read()
+            yield sim.timeout(3)
+            rw.release_read()
+            trace.append(("r-out", sim.now))
+
+        def writer():
+            yield sim.timeout(1)
+            yield rw.acquire_write()
+            trace.append(("w-in", sim.now))
+            rw.release_write()
+
+        sim.process(reader())
+        sim.process(writer())
+        sim.run()
+        assert trace == [("r-out", 3), ("w-in", 3)]
+
+    def test_readers_do_not_overtake_waiting_writer(self, sim):
+        rw = RWLock(sim)
+        trace = []
+
+        def holder():
+            yield rw.acquire_read()
+            yield sim.timeout(2)
+            rw.release_read()
+
+        def writer():
+            yield sim.timeout(0.5)
+            yield rw.acquire_write()
+            trace.append(("w", sim.now))
+            yield sim.timeout(1)
+            rw.release_write()
+
+        def late_reader():
+            yield sim.timeout(1)  # arrives after the writer queued
+            yield rw.acquire_read()
+            trace.append(("r", sim.now))
+            rw.release_read()
+
+        sim.process(holder())
+        sim.process(writer())
+        sim.process(late_reader())
+        sim.run()
+        assert trace == [("w", 2), ("r", 3)]
+
+    def test_reader_batch_granted_together(self, sim):
+        rw = RWLock(sim)
+        grant_times = []
+
+        def writer():
+            yield rw.acquire_write()
+            yield sim.timeout(1)
+            rw.release_write()
+
+        def reader():
+            yield sim.timeout(0.1)
+            yield rw.acquire_read()
+            grant_times.append(sim.now)
+            yield sim.timeout(1)
+            rw.release_read()
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.process(reader())
+        sim.run()
+        assert grant_times == [1, 1]
+
+    def test_release_errors(self, sim):
+        rw = RWLock(sim)
+        with pytest.raises(RuntimeError):
+            rw.release_read()
+        with pytest.raises(RuntimeError):
+            rw.release_write()
+
+    def test_counters(self, sim):
+        rw = RWLock(sim)
+
+        def writer():
+            yield rw.acquire_write()
+            yield sim.timeout(1)
+            rw.release_write()
+
+        def reader():
+            yield rw.acquire_read()
+            rw.release_read()
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.run()
+        assert rw.write_acquisitions == 1
+        assert rw.read_acquisitions == 1
+        assert rw.contended_acquisitions == 1
+        assert rw.wait_time == pytest.approx(1.0)

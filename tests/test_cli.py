@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CLF_SAMPLE = """\
+h - - [10/Oct/1997:13:55:36 -0700] "GET /index.html HTTP/1.0" 200 2326
+h - - [10/Oct/1997:13:55:38 -0700] "GET /cgi-bin/browse?item=42 HTTP/1.0" 200 8192 2.75
+h - - [10/Oct/1997:13:55:39 -0700] "GET /cgi-bin/browse?item=42 HTTP/1.0" 200 8192 2.75
+h - - [10/Oct/1997:13:55:40 -0700] "HEAD /x HTTP/1.0" 200 0
+"""
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in (
+            ["table1"], ["table2"], ["figure3"], ["figure4"], ["table3"],
+            ["table4"], ["table5"], ["table6"], ["ablation", "ttl"],
+            ["analyze-log", "x.log"], ["gen-trace", "zipf", "-o", "t"],
+            ["all"],
+        ):
+            args = parser.parse_args(cmd)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_table1_scaled(self, capsys, tmp_path):
+        out = tmp_path / "t1.txt"
+        rc = main(["table1", "--scale", "0.02", "--output", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "Table 1" in stdout
+        assert out.read_text().startswith("== Table 1")
+
+    def test_table3_small(self, capsys):
+        rc = main(["table3", "--nodes", "2", "--requests", "10"])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_table6_small(self, capsys):
+        rc = main(["table6", "--nodes", "1", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+
+    def test_analyze_log(self, capsys, tmp_path):
+        log = tmp_path / "access.log"
+        log.write_text(CLF_SAMPLE)
+        rc = main(["analyze-log", str(log), "--thresholds", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Caching potential" in out
+        assert "access.log" in out
+
+    def test_analyze_log_missing_file(self, capsys):
+        rc = main(["analyze-log", "/nonexistent.log"])
+        assert rc == 2
+        assert "no such log file" in capsys.readouterr().err
+
+    def test_analyze_log_empty(self, capsys, tmp_path):
+        log = tmp_path / "empty.log"
+        log.write_text("garbage\n")
+        rc = main(["analyze-log", str(log)])
+        assert rc == 2
+
+    def test_gen_trace_round_trips(self, capsys, tmp_path):
+        from repro.workload import load_trace
+
+        out = tmp_path / "trace.jsonl"
+        rc = main(["gen-trace", "zipf", "-o", str(out), "-n", "50", "-d", "10"])
+        assert rc == 0
+        trace = load_trace(out)
+        assert len(trace) == 50
+        assert "wrote 50 requests" in capsys.readouterr().out
+
+    def test_gen_trace_hit_ratio(self, tmp_path):
+        from repro.workload import load_trace
+
+        out = tmp_path / "hr.jsonl"
+        rc = main(["gen-trace", "hit-ratio", "-o", str(out), "-n", "100",
+                   "-d", "60"])
+        assert rc == 0
+        trace = load_trace(out)
+        assert trace.unique_count == 60
+
+    def test_gen_trace_adl(self, tmp_path):
+        out = tmp_path / "adl.jsonl"
+        rc = main(["gen-trace", "adl", "-o", str(out), "--scale", "0.01"])
+        assert rc == 0
+        assert out.exists()
+
+    def test_gen_trace_webstone(self, tmp_path):
+        out = tmp_path / "ws.jsonl"
+        rc = main(["gen-trace", "webstone", "-o", str(out), "-n", "30"])
+        assert rc == 0
+        assert out.exists()
+
+
+class TestRunConfig:
+    def test_run_config_end_to_end(self, capsys, tmp_path):
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = cooperative\ncapacity = 40\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(80, 15, seed=2), trace)
+        rc = main(["run-config", str(conf), "--trace", str(trace),
+                   "--nodes", "2", "--clients", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out
+        assert "mode=cooperative" in out
+
+    def test_missing_config(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        rc = main(["run-config", "/nope.conf", "--trace", str(trace)])
+        assert rc == 2
+
+    def test_missing_trace(self, capsys, tmp_path):
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = none\n")
+        rc = main(["run-config", str(conf), "--trace", "/nope.jsonl"])
+        assert rc == 2
+
+    def test_empty_trace_rejected(self, capsys, tmp_path):
+        from repro.workload import Trace, save_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = none\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(Trace([], name="empty"), trace)
+        rc = main(["run-config", str(conf), "--trace", str(trace)])
+        assert rc == 2

@@ -1,0 +1,33 @@
+"""Guard the README/package-docstring quickstart: it must run verbatim."""
+
+
+def test_quickstart_snippet_runs():
+    from repro.clients import ClientFleet
+    from repro.core import CacheMode, SwalaCluster, SwalaConfig
+    from repro.sim import Simulator
+    from repro.workload import zipf_cgi_trace
+
+    sim = Simulator()
+    cluster = SwalaCluster(
+        sim, n_nodes=4, config=SwalaConfig(mode=CacheMode.COOPERATIVE)
+    )
+    cluster.start()
+
+    trace = zipf_cgi_trace(1_000, 150, seed=42)
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names, n_threads=16
+    )
+    times = fleet.run()
+
+    stats = cluster.stats()
+    assert times.count == 1_000
+    assert times.mean > 0
+    assert 0 < stats.hit_ratio < 1
+    assert stats.remote_hits > 0
+
+
+def test_package_docstring_mentions_layers():
+    import repro
+
+    for layer in ("sim", "hosts", "net", "cache", "core", "workload"):
+        assert layer in repro.__doc__

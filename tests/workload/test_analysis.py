@@ -1,0 +1,91 @@
+"""Unit tests for the Table 1 access-log analyzer."""
+
+import pytest
+
+from repro.workload import (
+    PAPER_ADL,
+    Request,
+    Trace,
+    analyze_caching_potential,
+    generate_adl_trace,
+)
+
+
+def _cgi(url, t):
+    return Request.cgi(url, cpu_time=t, response_size=100)
+
+
+class TestAnalyzer:
+    def test_single_threshold_hand_computed(self):
+        trace = Trace(
+            [
+                _cgi("/a", 2.0),
+                _cgi("/a", 2.0),
+                _cgi("/a", 2.0),
+                _cgi("/b", 3.0),
+                _cgi("/c", 0.5),  # below threshold
+                _cgi("/c", 0.5),
+            ]
+        )
+        (row,) = analyze_caching_potential(trace, thresholds=[1.0])
+        assert row.long_requests == 4
+        assert row.total_repeats == 2  # two extra /a occurrences
+        assert row.unique_repeats == 1  # only /a repeats above 1s
+        assert row.time_saved == pytest.approx(4.0)
+        # total service = 6+3+1 = 10
+        assert row.saved_percent == pytest.approx(40.0)
+
+    def test_rows_monotone_in_threshold(self):
+        trace = generate_adl_trace(PAPER_ADL.scaled(0.05), seed=0)
+        rows = analyze_caching_potential(trace, thresholds=[0.1, 0.5, 1.0, 2.0])
+        longs = [r.long_requests for r in rows]
+        repeats = [r.total_repeats for r in rows]
+        saved = [r.time_saved for r in rows]
+        assert longs == sorted(longs, reverse=True)
+        assert repeats == sorted(repeats, reverse=True)
+        assert saved == sorted(saved, reverse=True)
+
+    def test_files_never_counted(self):
+        trace = Trace([Request.file("/f", 100)] * 10 + [_cgi("/a", 2.0)] * 2)
+        (row,) = analyze_caching_potential(trace, thresholds=[0.1])
+        assert row.long_requests == 2
+
+    def test_zero_threshold_includes_all_cgi(self):
+        trace = Trace([_cgi("/a", 0.01)] * 3)
+        (row,) = analyze_caching_potential(trace, thresholds=[0.0])
+        assert row.long_requests == 3
+        assert row.total_repeats == 2
+
+    def test_empty_trace(self):
+        rows = analyze_caching_potential(Trace([]), thresholds=[1.0])
+        assert rows[0].long_requests == 0
+        assert rows[0].saved_percent == 0.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_caching_potential(Trace([]), thresholds=[-1.0])
+
+
+class TestPaperCalibration:
+    """The synthetic ADL log must land near the paper's published Table 1."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        trace = generate_adl_trace(PAPER_ADL, seed=0)
+        return {
+            r.threshold: r
+            for r in analyze_caching_potential(trace, thresholds=[1.0])
+        }
+
+    def test_one_second_row_hits(self, rows):
+        # paper: 2,899 would-be hits
+        assert rows[1.0].total_repeats == pytest.approx(2_899, rel=0.15)
+
+    def test_one_second_row_entries(self, rows):
+        # paper: 189 cache entries needed
+        assert rows[1.0].unique_repeats == pytest.approx(189, rel=0.15)
+
+    def test_one_second_row_saving(self, rows):
+        # paper: 13,241 s saved, ~29% of total service time
+        assert rows[1.0].time_saved == pytest.approx(13_241, rel=0.15)
+        assert 22.0 <= rows[1.0].saved_percent <= 35.0

@@ -1,0 +1,82 @@
+"""Tests for trace summaries."""
+
+import pytest
+
+from repro.workload import (
+    Request,
+    Trace,
+    describe_trace,
+    render_trace_summary,
+)
+
+
+@pytest.fixture
+def trace():
+    reqs = (
+        [Request.cgi("/cgi-bin/hot", 2.0, 1_000)] * 5
+        + [Request.cgi("/cgi-bin/cold", 1.0, 500)]
+        + [Request.cgi("/cgi-bin/priv", 0.5, 100, cacheable=False)]
+        + [Request.file("/index.html", 2_000)] * 3
+    )
+    return Trace(reqs, name="sample")
+
+
+class TestDescribe:
+    def test_counts(self, trace):
+        s = describe_trace(trace)
+        assert s.total == 10
+        assert s.cgi == 7
+        assert s.files == 3
+        assert s.unique == 4
+        assert s.repeats == 6
+        assert s.uncacheable == 1
+
+    def test_service_time_stats(self, trace):
+        s = describe_trace(trace)
+        assert s.total_service_time == pytest.approx(5 * 2.0 + 1.0 + 0.5)
+        assert s.max_cgi_time == 2.0
+        assert s.mean_cgi_time == pytest.approx(11.5 / 7)
+
+    def test_top_urls_ordered(self, trace):
+        s = describe_trace(trace, top_k=2)
+        assert s.top_urls[0] == ("/cgi-bin/hot", 5)
+        assert len(s.top_urls) == 2
+
+    def test_derived_fractions(self, trace):
+        s = describe_trace(trace)
+        assert s.cgi_fraction == pytest.approx(0.7)
+        assert s.max_possible_hit_ratio == pytest.approx(0.6)
+
+    def test_bytes(self, trace):
+        s = describe_trace(trace)
+        assert s.total_bytes == 5 * 1_000 + 500 + 100 + 3 * 2_000
+
+    def test_render(self, trace):
+        text = render_trace_summary(describe_trace(trace))
+        assert "sample" in text
+        assert "/cgi-bin/hot" in text
+        assert "max hit ratio" in text
+
+    def test_empty_trace(self):
+        s = describe_trace(Trace([], name="empty"))
+        assert s.total == 0
+        assert s.cgi_fraction == 0.0
+        assert s.max_cgi_time == 0.0
+        render_trace_summary(s)  # must not raise
+
+
+class TestCliDescribe:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        path = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(50, 10, seed=0), path)
+        rc = main(["describe-trace", str(path)])
+        assert rc == 0
+        assert "hottest URLs" in capsys.readouterr().out
+
+    def test_cli_missing_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["describe-trace", "/nope.jsonl"]) == 2

@@ -1,0 +1,126 @@
+"""Tests for CLF log ingestion and trace serialization."""
+
+import pytest
+
+from repro.workload import (
+    ClfParseError,
+    Request,
+    RequestKind,
+    Trace,
+    default_cgi_classifier,
+    load_clf,
+    load_trace,
+    parse_clf_line,
+    save_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+
+GOOD_FILE = '192.168.0.9 - - [10/Oct/1997:13:55:36 -0700] "GET /maps/index.html HTTP/1.0" 200 2326'
+GOOD_CGI = 'alexandria - fred [10/Oct/1997:13:55:38 -0700] "GET /cgi-bin/browse?item=42 HTTP/1.0" 200 8192 2.75'
+HEAD_LINE = 'h - - [10/Oct/1997:13:55:39 -0700] "HEAD /index.html HTTP/1.0" 200 0'
+POST_LINE = 'h - - [10/Oct/1997:13:55:40 -0700] "POST /cgi-bin/submit HTTP/1.0" 200 50'
+ERROR_LINE = 'h - - [10/Oct/1997:13:55:41 -0700] "GET /missing.html HTTP/1.0" 404 120'
+DASH_BYTES = 'h - - [10/Oct/1997:13:55:42 -0700] "GET /empty HTTP/1.0" 200 -'
+GARBAGE = "this is not a log line"
+
+
+class TestParseClfLine:
+    def test_parses_standard_fields(self):
+        rec = parse_clf_line(GOOD_FILE)
+        assert rec.host == "192.168.0.9"
+        assert rec.method == "GET"
+        assert rec.path == "/maps/index.html"
+        assert rec.status == 200
+        assert rec.nbytes == 2326
+        assert rec.duration is None
+
+    def test_parses_duration_extension(self):
+        rec = parse_clf_line(GOOD_CGI)
+        assert rec.duration == pytest.approx(2.75)
+        assert rec.path == "/cgi-bin/browse?item=42"
+
+    def test_dash_bytes(self):
+        assert parse_clf_line(DASH_BYTES).nbytes == 0
+
+    def test_garbage_raises(self):
+        with pytest.raises(ClfParseError):
+            parse_clf_line(GARBAGE)
+
+
+class TestCgiClassifier:
+    def test_markers(self):
+        assert default_cgi_classifier("/cgi-bin/x")
+        assert default_cgi_classifier("/app/run.cgi")
+        assert default_cgi_classifier("/search?q=1")
+        assert not default_cgi_classifier("/docs/index.html")
+
+
+class TestLoadClf:
+    def test_paper_filtering_rules(self):
+        lines = [GOOD_FILE, GOOD_CGI, HEAD_LINE, POST_LINE, ERROR_LINE,
+                 GARBAGE, ""]
+        trace = load_clf(lines)
+        # Only the GET file + GET CGI with 200 survive.
+        assert len(trace) == 2
+        kinds = {r.kind for r in trace}
+        assert kinds == {RequestKind.FILE, RequestKind.CGI}
+
+    def test_duration_becomes_cpu_time(self):
+        trace = load_clf([GOOD_CGI])
+        assert trace[0].cpu_time == pytest.approx(2.75)
+
+    def test_default_cgi_time_when_no_duration(self):
+        line = 'h - - [x] "GET /cgi-bin/a HTTP/1.0" 200 100'
+        trace = load_clf([line], default_cgi_time=3.0)
+        assert trace[0].cpu_time == 3.0
+
+    def test_estimator_callback(self):
+        line = 'h - - [x] "GET /cgi-bin/a HTTP/1.0" 200 5000'
+        trace = load_clf([line], cgi_time_estimator=lambda rec: rec.nbytes / 1e3)
+        assert trace[0].cpu_time == pytest.approx(5.0)
+
+    def test_feeds_analysis(self):
+        from repro.workload import analyze_caching_potential
+
+        lines = [GOOD_CGI, GOOD_CGI, GOOD_CGI]
+        trace = load_clf(lines)
+        (row,) = analyze_caching_potential(trace, thresholds=[1.0])
+        assert row.total_repeats == 2
+        assert row.time_saved == pytest.approx(5.5)
+
+
+class TestTraceSerialization:
+    @pytest.fixture
+    def trace(self):
+        return Trace(
+            [
+                Request.cgi("/cgi-bin/a?x=1", 1.5, 2_000),
+                Request.file("/f.html", 512),
+                Request.cgi("/cgi-bin/priv", 0.3, 64, cacheable=False),
+            ],
+            name="round-trip",
+        )
+
+    def test_round_trip_in_memory(self, trace):
+        restored = trace_from_jsonl(trace_to_jsonl(trace))
+        assert restored.name == trace.name
+        assert list(restored) == list(trace)
+
+    def test_round_trip_on_disk(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path).requests == trace.requests
+
+    def test_truncated_file_detected(self, trace):
+        text = trace_to_jsonl(trace)
+        truncated = "\n".join(text.splitlines()[:-1])
+        with pytest.raises(ValueError, match="truncated"):
+            trace_from_jsonl(truncated)
+
+    def test_missing_header_detected(self):
+        with pytest.raises(ValueError, match="header"):
+            trace_from_jsonl('{"url": "/a"}')
+
+    def test_empty_text(self):
+        assert len(trace_from_jsonl("")) == 0

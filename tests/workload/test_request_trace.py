@@ -1,0 +1,107 @@
+"""Unit tests for the request model and trace containers."""
+
+import pytest
+
+from repro.workload import Request, RequestKind, Trace
+
+
+class TestRequest:
+    def test_file_factory(self):
+        r = Request.file("/a.html", 1000)
+        assert r.kind is RequestKind.FILE
+        assert not r.is_cgi
+        assert r.cpu_time == 0.0
+        assert r.response_size == 1000
+
+    def test_cgi_factory(self):
+        r = Request.cgi("/cgi-bin/x?q=1", cpu_time=2.0, response_size=500)
+        assert r.is_cgi
+        assert r.cacheable
+
+    def test_uncacheable_cgi(self):
+        r = Request.cgi("/cgi-bin/priv", 1.0, 100, cacheable=False)
+        assert not r.cacheable
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request.file("/a", -1)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            Request.cgi("/c", -1.0, 10)
+
+    def test_file_with_cpu_time_rejected(self):
+        with pytest.raises(ValueError):
+            Request(url="/a", kind=RequestKind.FILE, response_size=1, cpu_time=1.0)
+
+    def test_requests_hashable_and_equal_by_value(self):
+        a = Request.cgi("/c?q=1", 1.0, 10)
+        b = Request.cgi("/c?q=1", 1.0, 10)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace(self):
+        reqs = [
+            Request.cgi("/c?q=1", 1.0, 10),
+            Request.file("/f.html", 100),
+            Request.cgi("/c?q=1", 1.0, 10),
+            Request.cgi("/c?q=2", 2.0, 10),
+        ]
+        return Trace(reqs, name="t")
+
+    def test_len_and_iter(self, trace):
+        assert len(trace) == 4
+        assert len(list(trace)) == 4
+        assert trace[1].kind is RequestKind.FILE
+
+    def test_unique_and_repeats(self, trace):
+        assert trace.unique_count == 3
+        assert trace.repeat_count == 1
+        assert trace.max_possible_hits() == 1
+
+    def test_filters(self, trace):
+        assert len(trace.cgi_only()) == 3
+        assert len(trace.files_only()) == 1
+        assert len(trace.cacheable_only()) == 3
+
+    def test_total_service_time(self, trace):
+        assert trace.total_service_time() == pytest.approx(4.0)
+        assert trace.mean_cpu_time() == pytest.approx(1.0)
+
+    def test_url_counts(self, trace):
+        counts = trace.url_counts()
+        assert counts["/c?q=1"] == 2
+        assert counts["/c?q=2"] == 1
+
+    def test_by_url_groups(self, trace):
+        groups = trace.by_url()
+        assert len(groups["/c?q=1"]) == 2
+
+    def test_split_round_robin(self, trace):
+        parts = trace.split(2)
+        assert [len(p) for p in parts] == [2, 2]
+        assert parts[0][0] == trace[0]
+        assert parts[1][0] == trace[1]
+
+    def test_split_bad_n(self, trace):
+        with pytest.raises(ValueError):
+            trace.split(0)
+
+    def test_split_more_parts_than_requests(self, trace):
+        parts = trace.split(10)
+        assert sum(len(p) for p in parts) == 4
+
+    def test_interleave(self):
+        a = Trace([Request.file("/a", 1)] * 2, name="a")
+        b = Trace([Request.file("/b", 1)] * 3, name="b")
+        merged = a.interleave(b)
+        assert [r.url for r in merged] == ["/a", "/b", "/a", "/b", "/b"]
+
+    def test_empty_trace(self):
+        t = Trace([])
+        assert t.unique_count == 0
+        assert t.mean_cpu_time() == 0.0
+        assert t.max_possible_hits() == 0
