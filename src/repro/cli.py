@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -49,6 +50,39 @@ def _export(rows, args) -> None:
     if export and rows is not None:
         write_rows(list(rows), export)
         print(f"(structured rows exported to {export})")
+
+
+@contextmanager
+def _observability(args):
+    """Install a run observer when ``--trace-out``/``--metrics-out`` ask
+    for one; write the collected artifacts once the command finishes."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield None
+        return
+    from .experiments.common import RunObserver, observe_runs
+    from .obs import MetricsRegistry, TraceCollector
+
+    observer = RunObserver(
+        tracer=TraceCollector() if trace_out else None,
+        registry=MetricsRegistry() if metrics_out else None,
+    )
+    with observe_runs(observer):
+        yield observer
+    observer.collect_all()
+    if trace_out:
+        observer.tracer.write_jsonl(trace_out)
+        note = ""
+        if observer.tracer.dropped:
+            note = f", {observer.tracer.dropped} dropped at capacity"
+        print(
+            f"(trace: {len(observer.tracer.spans)} spans written to "
+            f"{trace_out}{note})"
+        )
+    if metrics_out:
+        observer.registry.write(metrics_out)
+        print(f"(metrics written to {metrics_out})")
 
 
 # ---------------------------------------------------------------------------
@@ -215,12 +249,19 @@ def _cmd_run_config(args) -> int:
     sim = Simulator()
     cluster = SwalaCluster(sim, args.nodes, config)
     cluster.install_files(trace)
+    from .experiments.common import current_observer
+
+    observer = current_observer()
+    if observer is not None:
+        observer.attach(cluster)
     cluster.start()
     fleet = ClientFleet(
         sim, cluster.network, trace, servers=cluster.node_names,
         n_threads=args.clients, n_hosts=max(1, args.clients // 8),
     )
     times = fleet.run()
+    if observer is not None:
+        observer.collect(cluster)
     stats = cluster.stats()
     lines = [
         render_trace_summary(describe_trace(trace)),
@@ -238,6 +279,57 @@ def _cmd_run_config(args) -> int:
         f"{stats.false_misses}   evictions: {stats.evictions}",
     ]
     _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Analyze a span-trace JSONL written with ``--trace-out``."""
+    from .obs import (
+        load_jsonl,
+        render_breakdown,
+        render_percentiles,
+        render_timeline,
+        render_trace_report,
+        request_records,
+    )
+
+    path = Path(args.tracefile)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    try:
+        dump = load_jsonl(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not len(dump):
+        print("error: no spans in the trace file", file=sys.stderr)
+        return 2
+
+    sections = []
+    wants_specific = args.breakdown or args.percentiles or args.timeline
+    if wants_specific:
+        records = request_records(dump)
+        if args.breakdown:
+            sections.append(render_breakdown(records))
+        if args.percentiles:
+            sections.append(render_percentiles(records))
+        if args.timeline:
+            try:
+                sections.append(
+                    render_timeline(
+                        dump, trace_id=args.trace_id, width=args.width
+                    )
+                )
+            except KeyError:
+                print(
+                    f"error: no trace with id {args.trace_id} in {path}",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        sections.append(render_trace_report(dump))
+    _emit("\n\n".join(sections), args.output)
     return 0
 
 
@@ -285,10 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def observability(p):
+        p.add_argument(
+            "--trace-out",
+            help="collect per-request spans and write them (JSONL; analyze "
+            "with `repro trace`)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            help="scrape run metrics into a registry and write it "
+            "(.json => JSON, else Prometheus text)",
+        )
+
     def common(p):
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--output", help="also write the table to this file")
         p.add_argument("--export", help="write structured rows (.csv/.json)")
+        observability(p)
 
     p = sub.add_parser("table1", help="ADL log caching-potential analysis")
     common(p)
@@ -374,7 +479,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--clients", type=int, default=16)
     p.add_argument("--output", help="also write the report to this file")
+    observability(p)
     p.set_defaults(func=_cmd_run_config)
+
+    p = sub.add_parser(
+        "trace",
+        help="latency breakdowns / percentiles / timeline from a span "
+        "trace written with --trace-out",
+    )
+    p.add_argument("tracefile")
+    p.add_argument("--breakdown", action="store_true",
+                   help="latency category shares per cache outcome")
+    p.add_argument("--percentiles", action="store_true",
+                   help="response-time percentile table per cache outcome")
+    p.add_argument("--timeline", action="store_true",
+                   help="ASCII span timeline of one request")
+    p.add_argument("--trace-id", type=int, default=None,
+                   help="which trace for --timeline (default: first complete)")
+    p.add_argument("--width", type=int, default=48,
+                   help="timeline bar width in characters")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("describe-trace", help="summarize a saved trace file")
     p.add_argument("tracefile")
@@ -391,7 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with _observability(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -81,6 +81,24 @@ class CacherModule:
         self._in_progress: dict = {}
         #: Completion events for in-progress executions (coalescing).
         self._in_progress_done: dict = {}
+        #: Optional :class:`~repro.obs.TraceCollector` (set by the server's
+        #: ``attach_tracer``); ``None`` => the request-thread services pay
+        #: only ``is None`` checks.
+        self.tracer = None
+
+    # -- span helpers (no-ops while no tracer is attached) -------------------
+    def _span(self, parent, name: str, category: str):
+        if parent is None or self.tracer is None:
+            return None
+        now, tick = self.sim.monotonic()
+        return self.tracer.start_span(
+            name, parent=parent, category=category, node=self.name,
+            start=now, tick=tick,
+        )
+
+    def _end_span(self, span, **attrs) -> None:
+        if span is not None:
+            span.close(self.sim.now, **attrs)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -239,28 +257,46 @@ class CacherModule:
                 )
 
     # -- request-thread services ----------------------------------------------
-    def classify(self, request: Request) -> bool:
+    def classify(self, request: Request, span=None) -> bool:
         """Fig. 2's first diamond: is this request cacheable at all?"""
-        return self.config.is_cacheable(request)
+        cacheable = self.config.is_cacheable(request)
+        child = self._span(span, "classify", "cpu")
+        self._end_span(child, cacheable=cacheable)  # instantaneous decision
+        return cacheable
 
-    def lookup(self, url: str) -> Generator:
+    def lookup(self, url: str, span=None) -> Generator:
         """Process: directory lookup; returns a live entry or ``None``."""
-        result = yield from self.directory.lookup(url, self.sim.now)
+        child = self._span(span, "lookup", "cpu")
+        try:
+            result = yield from self.directory.lookup(url, self.sim.now)
+        finally:
+            self._end_span(child)
+        if child is not None:
+            child.annotate(
+                found=result is not None,
+                owner=result.owner if result is not None else None,
+            )
         return result
 
-    def fetch_local(self, url: str) -> Generator:
+    def fetch_local(self, url: str, span=None) -> Generator:
         """Process: serve a hit from our own cache; returns the entry or
         ``None`` if it vanished since the lookup (race with the purger)."""
         entry = self.store.get(url)
         if entry is None or entry.expired(self.sim.now):
             return None
-        if self.is_stale(entry):
-            self.stats.stale_hits += 1
-        yield from self.machine.serve_file(entry.file_path, mmap=True)
-        yield from self.record_hit(url)
+        child = self._span(span, "fetch-local", "disk")
+        try:
+            if self.is_stale(entry):
+                self.stats.stale_hits += 1
+            yield from self.machine.serve_file(entry.file_path, mmap=True)
+            yield from self.record_hit(url)
+        finally:
+            self._end_span(child)
         return entry
 
-    def fetch_remote(self, entry: CacheEntry, reply_box: Store, reply_port: str) -> Generator:
+    def fetch_remote(
+        self, entry: CacheEntry, reply_box: Store, reply_port: str, span=None
+    ) -> Generator:
         """Process: request/reply session with the owning node; returns the
         :class:`FetchReply`.
 
@@ -270,35 +306,47 @@ class CacherModule:
         for the current one.
         """
         seq = next(_fetch_ids)
-        yield self.machine.compute(self.machine.costs.remote_fetch_cpu)  # connect + marshal
-        self.network.send(
-            self.name,
-            entry.owner,
-            FETCH_PORT,
-            FetchRequest(
-                url=entry.url, requester=self.name, reply_port=reply_port, seq=seq
-            ),
-            FETCH_REQUEST_BYTES,
-        )
-        deadline = self.sim.timeout(self.config.fetch_timeout)
-        while True:
-            get_event = reply_box.get()
-            yield get_event | deadline
-            if not get_event.triggered:
-                # Timed out: withdraw the getter and fall back to execution.
-                reply_box.cancel(get_event)
-                self.stats.fetch_timeouts += 1
-                return FetchReply(url=entry.url, hit=False, seq=seq)
-            msg = get_event.value
-            reply: FetchReply = msg.payload
-            if reply.seq != seq:
-                continue  # a stale reply from an abandoned fetch; discard
-            if reply.hit:
-                # Receive-side copy of the body.
-                yield self.machine.compute(
-                    self.machine.costs.net_send_per_byte_cpu * reply.size
-                )
-            return reply
+        child = self._span(span, "fetch-remote", "network")
+        if child is not None:
+            child.annotate(owner=entry.owner)
+        try:
+            yield self.machine.compute(self.machine.costs.remote_fetch_cpu)  # connect + marshal
+            self.network.send(
+                self.name,
+                entry.owner,
+                FETCH_PORT,
+                FetchRequest(
+                    url=entry.url, requester=self.name, reply_port=reply_port, seq=seq
+                ),
+                FETCH_REQUEST_BYTES,
+                parent=child,
+            )
+            deadline = self.sim.timeout(self.config.fetch_timeout)
+            while True:
+                get_event = reply_box.get()
+                yield get_event | deadline
+                if not get_event.triggered:
+                    # Timed out: withdraw the getter and fall back to execution.
+                    reply_box.cancel(get_event)
+                    self.stats.fetch_timeouts += 1
+                    self._end_span(child, hit=False, timeout=True)
+                    child = None
+                    return FetchReply(url=entry.url, hit=False, seq=seq)
+                msg = get_event.value
+                reply: FetchReply = msg.payload
+                if reply.seq != seq:
+                    continue  # a stale reply from an abandoned fetch; discard
+                if reply.hit:
+                    # Receive-side copy of the body.
+                    yield self.machine.compute(
+                        self.machine.costs.net_send_per_byte_cpu * reply.size
+                    )
+                self._end_span(child, hit=reply.hit)
+                child = None
+                return reply
+        finally:
+            # Belt-and-braces: a failure inside the session still closes it.
+            self._end_span(child)
 
     def record_hit(self, url: str) -> Generator:
         """Process: owner-side meta-data statistics update after a fetch."""
@@ -348,38 +396,42 @@ class CacherModule:
             and request.response_size <= self.config.max_entry_size
         )
 
-    def insert_result(self, request: Request, exec_time: float) -> Generator:
+    def insert_result(self, request: Request, exec_time: float, span=None) -> Generator:
         """Process: create the entry, update directory, broadcast (Fig. 2's
         'Create cache entry' + 'Broadcast cache entry' boxes)."""
         now = self.sim.now
-        if self.config.cooperative and self.directory.has_elsewhere(request.url):
-            # A peer cached this while we were executing: type-2 false miss.
-            self.stats.false_misses += 1
-        entry = CacheEntry(
-            url=request.url,
-            owner=self.name,
-            size=request.response_size,
-            exec_time=exec_time,
-            created=now,
-            ttl=self.config.ttl_for(request.url),
-        )
-        # The tee of the CGI output into the cache file (charged now; the
-        # file lands in the buffer cache).
-        yield self.machine.compute(
-            self.machine.costs.cache_write_per_byte_cpu * entry.size
-        )
-        evicted = self.store.insert(entry, now)
-        yield from self.directory.insert(entry)
-        self.stats.inserts += 1
-        for victim in evicted:
-            self.stats.evictions += 1
-            yield from self.directory.delete(victim.url, self.name)
-        if self.config.cooperative:
-            yield from self._broadcast(CacheInsert(entry=entry.replica()))
+        child = self._span(span, "insert", "cpu")
+        try:
+            if self.config.cooperative and self.directory.has_elsewhere(request.url):
+                # A peer cached this while we were executing: type-2 false miss.
+                self.stats.false_misses += 1
+            entry = CacheEntry(
+                url=request.url,
+                owner=self.name,
+                size=request.response_size,
+                exec_time=exec_time,
+                created=now,
+                ttl=self.config.ttl_for(request.url),
+            )
+            # The tee of the CGI output into the cache file (charged now; the
+            # file lands in the buffer cache).
+            yield self.machine.compute(
+                self.machine.costs.cache_write_per_byte_cpu * entry.size
+            )
+            evicted = self.store.insert(entry, now)
+            yield from self.directory.insert(entry)
+            self.stats.inserts += 1
             for victim in evicted:
-                yield from self._broadcast(
-                    CacheDelete(url=victim.url, owner=self.name)
-                )
+                self.stats.evictions += 1
+                yield from self.directory.delete(victim.url, self.name)
+            if self.config.cooperative:
+                yield from self._broadcast(CacheInsert(entry=entry.replica()), child)
+                for victim in evicted:
+                    yield from self._broadcast(
+                        CacheDelete(url=victim.url, owner=self.name), child
+                    )
+        finally:
+            self._end_span(child)
         return entry
 
     def flush(self) -> Generator:
@@ -392,16 +444,20 @@ class CacherModule:
             yield from self.directory.delete(entry.url, self.name)
             yield from self._broadcast(CacheDelete(url=entry.url, owner=self.name))
 
-    def _broadcast(self, update) -> Generator:
+    def _broadcast(self, update, span=None) -> Generator:
         """Process: send one directory update to every peer."""
         if not self.peers:
             return
-        yield self.machine.compute(
-            self.machine.costs.broadcast_per_peer_cpu * len(self.peers)
-        )
-        self.network.broadcast(
-            self.name, self.peers, UPDATE_PORT, update, DIRECTORY_UPDATE_BYTES
-        )
+        child = self._span(span, "broadcast", "cpu")
+        try:
+            yield self.machine.compute(
+                self.machine.costs.broadcast_per_peer_cpu * len(self.peers)
+            )
+            self.network.broadcast(
+                self.name, self.peers, UPDATE_PORT, update, DIRECTORY_UPDATE_BYTES
+            )
+        finally:
+            self._end_span(child, peers=len(self.peers))
 
     def __repr__(self) -> str:
         return f"<CacherModule {self.name!r} store={len(self.store)}/{self.store.capacity}>"

@@ -68,8 +68,21 @@ class SwalaCluster:
         return self.servers[idx]
 
     def start(self) -> None:
+        # Late import: the active-observer slot is how CLI --trace-out /
+        # --metrics-out reach clusters built inline by experiment runners.
+        from ..obs.runtime import current_observer
+
+        observer = current_observer()
+        if observer is not None and hasattr(observer, "attach"):
+            observer.attach(self)
         for server in self.servers:
             server.start()
+
+    def attach_tracer(self, collector) -> None:
+        """Trace every node's requests (and their LAN hops) into ``collector``."""
+        self.network.tracer = collector
+        for server in self.servers:
+            server.attach_tracer(collector)
 
     def install_files(self, trace: Trace) -> None:
         """Give every node a copy of the static documents (shared docroot)."""

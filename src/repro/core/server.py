@@ -68,6 +68,10 @@ class SwalaServer(ThreadPoolServer):
         if self.config.caching_enabled:
             self.cacher.start()
 
+    def attach_tracer(self, collector) -> None:
+        super().attach_tracer(collector)
+        self.cacher.tracer = collector
+
     def _request_thread(self, tid: int):
         # Each request thread owns a private reply mailbox for its remote
         # fetches (one outstanding fetch per thread, like one socket each).
@@ -86,78 +90,99 @@ class SwalaServer(ThreadPoolServer):
         reply_port: Optional[str] = None,
     ) -> Generator:
         request = conn.request
-        yield from self.accept_cost()
+        span = self._trace_request(conn)
+        yield from self.accept_cost(span)
         if request.kind is RequestKind.FILE:
-            yield from self.serve_static(request)
+            yield from self.serve_static(request, span)
             source = "file"
-        elif not self.cacher.classify(request):
+        elif not self.cacher.classify(request, span):
             # "An uncacheable request is executed without any more
             # communication with the cache manager."
             self.stats.uncacheable += 1
-            yield from self.execute_cgi(request)
+            if span is not None:
+                span.annotate(uncacheable=True)
+            yield from self.execute_cgi(request, span)
             source = "exec"
         else:
             source = yield from self._handle_cacheable(
-                request, reply_box, reply_port
+                request, reply_box, reply_port, span
             )
-        yield from self.send_cpu(request)
-        self.finish(conn, source)
+        yield from self.send_cpu(request, span)
+        self.finish(conn, source, span=span)
 
-    def _handle_cacheable(self, request, reply_box, reply_port) -> Generator:
+    def _handle_cacheable(self, request, reply_box, reply_port, span=None) -> Generator:
         lookup_started = self.sim.now
-        while True:
-            entry = yield from self.cacher.lookup(request.url)
+        false_hit_retries = 0
+        coalesced = 0
+        try:
+            while True:
+                entry = yield from self.cacher.lookup(request.url, span)
 
-            if entry is not None and entry.owner == self.name:
-                served = yield from self.cacher.fetch_local(request.url)
-                if served is not None:
-                    self.stats.local_hits += 1
-                    self.stats.hit_times.observe(self.sim.now - lookup_started)
-                    return "local-cache"
-                entry = None  # purged between lookup and fetch: fall to miss
+                if entry is not None and entry.owner == self.name:
+                    served = yield from self.cacher.fetch_local(request.url, span)
+                    if served is not None:
+                        self.stats.local_hits += 1
+                        self.stats.hit_times.observe(self.sim.now - lookup_started)
+                        return "local-cache"
+                    entry = None  # purged between lookup and fetch: fall to miss
 
-            if entry is not None:
-                # Cached at a peer: request/reply session with its fetch
-                # server.
-                if reply_box is None:
-                    reply_port = f"fetch-reply-adhoc{next(_adhoc_ports)}"
-                    reply_box = self.network.register(self.name, reply_port)
-                reply = yield from self.cacher.fetch_remote(
-                    entry, reply_box, reply_port
-                )
-                if reply.hit:
-                    self.stats.remote_hits += 1
-                    self.stats.hit_times.observe(self.sim.now - lookup_started)
-                    return "remote-cache"
-                # False hit: the owner dropped it; execute locally (Fig. 2).
-                self.stats.false_hits += 1
+                if entry is not None:
+                    # Cached at a peer: request/reply session with its fetch
+                    # server.
+                    if reply_box is None:
+                        reply_port = f"fetch-reply-adhoc{next(_adhoc_ports)}"
+                        reply_box = self.network.register(self.name, reply_port)
+                    reply = yield from self.cacher.fetch_remote(
+                        entry, reply_box, reply_port, span
+                    )
+                    if reply.hit:
+                        self.stats.remote_hits += 1
+                        self.stats.hit_times.observe(self.sim.now - lookup_started)
+                        return "remote-cache"
+                    # False hit: the owner dropped it; execute locally (Fig. 2).
+                    self.stats.false_hits += 1
+                    false_hit_retries += 1
 
-            # Miss.  With coalescing enabled (an extension the paper chose
-            # against), wait for an in-progress identical execution and
-            # retry the lookup instead of re-running the CGI.
-            if self.config.coalesce_duplicates and self.cacher.in_progress(
-                request.url
-            ):
-                waited = yield from self.cacher.wait_for_execution(request.url)
-                if waited:
-                    self.stats.coalesced += 1
-                    continue
-
-            # Execute the CGI, tee the output, maybe insert + broadcast.
-            # The in-progress marker is held until after the insert so that
-            # coalesced waiters find the entry when they retry.
-            duplicate = self.cacher.execution_starting(request.url)
-            if duplicate:
-                self.stats.false_misses += 1
-            try:
-                yield from self.execute_cgi(request)
-                self.stats.misses += 1
-                if self.cacher.should_cache_result(
-                    request, request.cpu_time, ok=True
+                # Miss.  With coalescing enabled (an extension the paper chose
+                # against), wait for an in-progress identical execution and
+                # retry the lookup instead of re-running the CGI.
+                if self.config.coalesce_duplicates and self.cacher.in_progress(
+                    request.url
                 ):
-                    yield from self.cacher.insert_result(request, request.cpu_time)
-                else:
-                    self.stats.discards += 1
-            finally:
-                self.cacher.execution_finished(request.url)
-            return "exec"
+                    wait_span = self._span(span, "wait-coalesced", "queue")
+                    try:
+                        waited = yield from self.cacher.wait_for_execution(
+                            request.url
+                        )
+                    finally:
+                        self._end_span(wait_span)
+                    if waited:
+                        self.stats.coalesced += 1
+                        coalesced += 1
+                        continue
+
+                # Execute the CGI, tee the output, maybe insert + broadcast.
+                # The in-progress marker is held until after the insert so that
+                # coalesced waiters find the entry when they retry.
+                duplicate = self.cacher.execution_starting(request.url)
+                if duplicate:
+                    self.stats.false_misses += 1
+                try:
+                    yield from self.execute_cgi(request, span)
+                    self.stats.misses += 1
+                    if self.cacher.should_cache_result(
+                        request, request.cpu_time, ok=True
+                    ):
+                        yield from self.cacher.insert_result(
+                            request, request.cpu_time, span
+                        )
+                    else:
+                        self.stats.discards += 1
+                finally:
+                    self.cacher.execution_finished(request.url)
+                return "exec"
+        finally:
+            if span is not None and (false_hit_retries or coalesced):
+                span.annotate(
+                    false_hit_retries=false_hit_retries, coalesced=coalesced
+                )

@@ -2,21 +2,102 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..clients import ClientFleet, ClientThread
 from ..core import CacheMode, SwalaCluster, SwalaConfig, SwalaServer
 from ..hosts import Machine, MachineCosts
 from ..net import Network
+from ..obs import runtime
 from ..sim import Simulator, Tally
 from ..workload import Trace
 
 __all__ = [
+    "RunObserver",
+    "observe_runs",
+    "current_observer",
     "single_swala",
     "run_single_server_fleet",
     "run_cluster_trace",
     "warm_cluster",
 ]
+
+
+class RunObserver:
+    """Observability hookup for experiment runs.
+
+    Experiment commands build their simulators/clusters several layers
+    below the CLI, so ``--trace-out`` / ``--metrics-out`` can't just pass
+    a collector down every call chain.  Instead the CLI installs an
+    observer with :func:`observe_runs`; ``SwalaCluster.start`` and the
+    run helpers here look it up via :func:`current_observer` and call
+    :meth:`attach` before running.  Metrics are scraped either eagerly
+    with :meth:`collect` or once at command end with :meth:`collect_all`
+    — both are idempotent per target, so the paths compose.
+    """
+
+    def __init__(self, tracer=None, registry=None):
+        self.tracer = tracer
+        self.registry = registry
+        self.targets: list = []
+        self._attached: set = set()
+        self._collected: set = set()
+
+    def attach(self, target) -> None:
+        """Trace ``target`` (anything with ``attach_tracer``) from now on.
+
+        Each *new* target marks a new run on the collector, so spans from
+        the several back-to-back simulations one experiment command runs
+        stay distinguishable in the dump.  Re-attaching the same target
+        (e.g. a helper attached it and ``start()`` attaches again) is a
+        no-op.
+        """
+        if not hasattr(target, "attach_tracer") or id(target) in self._attached:
+            return
+        self._attached.add(id(target))
+        self.targets.append(target)  # keeps target (and its id) alive
+        if self.tracer is not None:
+            self.tracer.new_run()
+            target.attach_tracer(self.tracer)
+
+    def collect(self, target) -> None:
+        """Scrape a finished server/cluster into the metrics registry."""
+        if self.registry is None or id(target) in self._collected:
+            return
+        self._collected.add(id(target))
+        from ..obs import collect_network, collect_node_stats
+
+        servers = getattr(target, "servers", None) or [target]
+        for server in servers:
+            stats = getattr(server, "stats", None)
+            if stats is not None:
+                collect_node_stats(self.registry, stats)
+        network = getattr(target, "network", None)
+        if network is not None:
+            collect_network(self.registry, network)
+
+    def collect_all(self) -> None:
+        """Scrape every attached-but-not-yet-collected target.
+
+        Stats objects are cumulative, so scraping once when the command
+        finishes is equivalent to scraping right after each run.
+        """
+        for target in list(self.targets):
+            self.collect(target)
+
+
+# The active-observer slot lives in ``repro.obs.runtime`` so that core
+# layers (``SwalaCluster.start``) can consult it without importing the
+# experiments package; these are the same objects, re-exported.
+current_observer = runtime.current_observer
+
+
+@contextmanager
+def observe_runs(observer: Optional[RunObserver]):
+    """Make ``observer`` the active one for runs started inside the block."""
+    with runtime.observing(observer):
+        yield observer
 
 
 def single_swala(
@@ -49,11 +130,16 @@ def run_single_server_fleet(
     machine = Machine(sim, "srv", costs)
     server = make_server(sim, network, machine)
     server.install_files(trace)
+    observer = current_observer()
+    if observer is not None:
+        observer.attach(server)
     server.start()
     fleet = ClientFleet(
         sim, network, trace, servers=["srv"], n_threads=n_threads, n_hosts=n_hosts
     )
     times = fleet.run()
+    if observer is not None:
+        observer.collect(server)
     return times, server
 
 
@@ -75,6 +161,9 @@ def run_cluster_trace(
     config = SwalaConfig(mode=mode, **(config_kw or {}))
     cluster = SwalaCluster(sim, n_nodes, config, costs=costs)
     cluster.install_files(trace)
+    observer = current_observer()
+    if observer is not None:
+        observer.attach(cluster)
     cluster.start()
     fleet = ClientFleet(
         sim,
@@ -85,6 +174,8 @@ def run_cluster_trace(
         n_hosts=n_hosts,
     )
     times = fleet.run()
+    if observer is not None:
+        observer.collect(cluster)
     return times, cluster
 
 

@@ -19,7 +19,7 @@ from ..metrics import render_table
 from ..servers import EnterpriseServer, NcsaHttpd
 from ..sim import Simulator
 from ..workload import nullcgi_trace
-from .common import run_single_server_fleet, warm_cluster
+from .common import current_observer, run_single_server_fleet, warm_cluster
 
 __all__ = ["Figure3Result", "run_figure3", "render_figure3"]
 
@@ -71,11 +71,15 @@ def run_figure3(
 
     # Local fetch: one node, cache warmed first (as in the paper) so every
     # measured request is a local hit.
+    observer = current_observer()
+
     sim = Simulator()
     local_cluster = SwalaCluster(
         sim, 1, SwalaConfig(mode=CacheMode.STANDALONE), costs=costs,
         name_prefix="local",
     )
+    if observer is not None:
+        observer.attach(local_cluster)
     local_cluster.start()
     warm_cluster(local_cluster, nullcgi_trace(1), local_cluster.node_names[0])
     local_fleet = ClientFleet(
@@ -88,12 +92,16 @@ def run_figure3(
     )
     local = local_fleet.run()
     local_srv = local_cluster.servers[0]
+    if observer is not None:
+        observer.collect(local_cluster)
 
     # Remote fetch: warm node 0, then send all load to node 1.
     sim = Simulator()
     cluster = SwalaCluster(
         sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE), costs=costs
     )
+    if observer is not None:
+        observer.attach(cluster)
     cluster.start()
     warm_cluster(cluster, nullcgi_trace(1), cluster.node_names[0])
     fleet = ClientFleet(
@@ -105,6 +113,8 @@ def run_figure3(
         n_hosts=n_client_hosts,
     )
     remote = fleet.run()
+    if observer is not None:
+        observer.collect(cluster)
 
     return Figure3Result(
         enterprise=ent.mean,

@@ -28,6 +28,7 @@ from ..metrics import render_table
 from ..sim import Tally
 from ..net import Network
 from ..proxy import ProxyCache
+from .common import current_observer
 from ..sim import Simulator
 from ..workload import PAPER_ADL, RequestKind, Trace, generate_adl_trace
 
@@ -80,6 +81,9 @@ def _run_config(
         SwalaConfig(mode=server_mode), name="origin",
     )
     origin.install_files(trace)
+    observer = current_observer()
+    if observer is not None:
+        observer.attach(origin)
     origin.start()
 
     use_proxy = config.startswith("proxy")

@@ -28,6 +28,7 @@ from ..metrics import render_table
 from ..net import Network
 from ..sim import Simulator
 from ..workload import uncacheable_cgi_trace
+from .common import current_observer
 
 __all__ = ["Table4Row", "run_table4", "render_table4", "PseudoServer"]
 
@@ -90,6 +91,9 @@ def _run_one(ups: float, n_requests: int, n_fake_peers: int,
         sim, machine, network, ["srv"] + fake_peers,
         SwalaConfig(mode=CacheMode.COOPERATIVE), name="srv",
     )
+    observer = current_observer()
+    if observer is not None:
+        observer.attach(server)
     server.start()
     if ups > 0:
         per_peer = ups / n_fake_peers

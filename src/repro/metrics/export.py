@@ -52,8 +52,18 @@ def rows_to_csv(rows: Sequence[Any]) -> str:
     if not rows:
         return ""
     dicts = [row_to_dict(r) for r in rows]
+    # Header is the union of every row's keys (mixed row types may carry
+    # different derived properties), first-seen order; absent cells stay
+    # empty rather than raising.
+    fieldnames: List[str] = []
+    seen = set()
+    for d in dicts:
+        for key in d:
+            if key not in seen:
+                seen.add(key)
+                fieldnames.append(key)
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(dicts[0]))
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
     writer.writeheader()
     for d in dicts:
         writer.writerow(d)
@@ -64,9 +74,11 @@ def write_rows(rows: Sequence[Any], path: Union[str, Path]) -> None:
     """Write rows as CSV or JSON depending on the file extension."""
     path = Path(path)
     if path.suffix == ".json":
-        path.write_text(rows_to_json(rows) + "\n")
+        text = rows_to_json(rows) + "\n"
     elif path.suffix == ".csv":
-        path.write_text(rows_to_csv(rows))
+        text = rows_to_csv(rows)
     else:
         raise ValueError(f"unsupported export extension {path.suffix!r} "
                          "(use .csv or .json)")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)

@@ -64,6 +64,10 @@ class Network:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.transit_times = Tally(f"{name}.transit", keep_samples=False)
+        #: Optional :class:`~repro.obs.TraceCollector`.  Message hops are
+        #: traced only when the sender passes a parent span to :meth:`send`,
+        #: so untraced traffic (and tracing off) costs nothing.
+        self.tracer = None
 
     # -- topology -----------------------------------------------------------
     def attach(self, host: str) -> None:
@@ -86,10 +90,15 @@ class Network:
             raise UnknownPort(f"{host}:{port}") from None
 
     # -- transmission ---------------------------------------------------------
-    def send(self, src: str, dst: str, port: str, payload: Any, size: int) -> Event:
+    def send(
+        self, src: str, dst: str, port: str, payload: Any, size: int,
+        parent=None,
+    ) -> Event:
         """Transmit; the returned event fires at *delivery* with the Message.
 
         Fire-and-forget senders may simply ignore the returned event.
+        ``parent`` optionally attaches the hop as a child span of the
+        request span that caused it (only with a tracer attached).
         """
         if size < 0:
             raise ValueError(f"negative message size {size}")
@@ -100,11 +109,20 @@ class Network:
             src=src, dst=dst, port=port, payload=payload, size=size,
             send_time=self.sim.now,
         )
+        span = None
+        if self.tracer is not None and parent is not None:
+            now, tick = self.sim.monotonic()
+            span = self.tracer.start_span(
+                f"hop:{src}->{dst}", parent=parent, category="network",
+                node=src, start=now, tick=tick, port=port, bytes=size,
+            )
         delivered = Event(self.sim)
-        self.sim.process(self._transmit(msg, delivered), name=f"xmit-{msg.msg_id}")
+        self.sim.process(
+            self._transmit(msg, delivered, span), name=f"xmit-{msg.msg_id}"
+        )
         return delivered
 
-    def _transmit(self, msg: Message, delivered: Event):
+    def _transmit(self, msg: Message, delivered: Event, span=None):
         nic = self._nics[msg.src]
         req = nic.request()
         yield req
@@ -119,6 +137,8 @@ class Network:
             and self._loss_rng.random() < self.loss_rate
         ):
             self.messages_dropped += 1
+            if span is not None:
+                span.close(self.sim.now, dropped=True)
             delivered.succeed(None)  # dropped: delivery event reports None
             return
         yield self.sim.timeout(self.latency)
@@ -126,6 +146,8 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += msg.size
         self.transit_times.observe(msg.in_flight_time)
+        if span is not None:
+            span.close(self.sim.now)
         self._ports[(msg.dst, msg.port)].put(msg)
         delivered.succeed(msg)
 

@@ -1,0 +1,63 @@
+"""Observability: request-scoped tracing, metrics registry, analyzers.
+
+The subsystem is strictly additive: nothing here schedules simulation
+events, so attaching a tracer or scraping a registry never perturbs a
+deterministic run — and with tracing off (the default) the request path
+pays only a handful of ``is None`` checks.
+"""
+
+from .analyze import (
+    RequestRecord,
+    outcome_of,
+    render_breakdown,
+    render_percentiles,
+    render_timeline,
+    render_trace_report,
+    request_records,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_cluster_stats,
+    collect_network,
+    collect_node_stats,
+    observe_tally,
+)
+from .trace import (
+    SPAN_CATEGORIES,
+    Span,
+    TraceCollector,
+    TraceDump,
+    finish_span,
+    load_jsonl,
+    start_child,
+)
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "TraceDump",
+    "load_jsonl",
+    "start_child",
+    "finish_span",
+    "SPAN_CATEGORIES",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "collect_node_stats",
+    "collect_cluster_stats",
+    "collect_network",
+    "observe_tally",
+    "RequestRecord",
+    "request_records",
+    "outcome_of",
+    "render_breakdown",
+    "render_percentiles",
+    "render_timeline",
+    "render_trace_report",
+]

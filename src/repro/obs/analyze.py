@@ -1,0 +1,289 @@
+"""Latency-breakdown analysis of span traces.
+
+Given a JSONL trace emitted by :class:`~repro.obs.TraceCollector`, this
+module reconstructs per-request critical paths and answers the questions
+the paper's evaluation revolves around: *where does the time go* on the
+CGI path (queueing vs CPU vs network vs disk), and how do the latency
+distributions differ per cache outcome (local hit / remote hit / false
+hit / miss)?
+
+Three renderers:
+
+* :func:`render_breakdown` — per-outcome time-share table;
+* :func:`render_percentiles` — per-outcome latency percentile table;
+* :func:`render_timeline` — an ASCII span timeline (Gantt) for one trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.reporting import render_table
+from .trace import SPAN_CATEGORIES, Span, TraceDump
+
+__all__ = [
+    "RequestRecord",
+    "request_records",
+    "outcome_of",
+    "render_breakdown",
+    "render_percentiles",
+    "render_timeline",
+    "render_trace_report",
+]
+
+#: Order outcomes are reported in (anything else appends alphabetically).
+_OUTCOME_ORDER = (
+    "local-hit", "remote-hit", "false-hit", "miss", "coalesced",
+    "uncacheable", "file",
+)
+
+
+@dataclass
+class RequestRecord:
+    """One request's reconstructed latency anatomy."""
+
+    trace_id: int
+    url: str
+    kind: str
+    node: str
+    outcome: str
+    start: float
+    total: float
+    #: Seconds attributed to each category by the direct children of the
+    #: root span; ``other`` is the uncovered remainder.
+    shares: Dict[str, float] = field(default_factory=dict)
+    retries: int = 0
+
+    def share(self, category: str) -> float:
+        return self.shares.get(category, 0.0)
+
+
+def outcome_of(root: Span) -> str:
+    """Map a closed root span to the paper's outcome taxonomy.
+
+    The retry annotations take precedence over the final body source: a
+    false hit usually *ends* as an execution (and a coalesced wait as a
+    local hit), but what distinguishes the request is the detour.
+    """
+    source = root.attrs.get("outcome")
+    if root.attrs.get("false_hit_retries"):
+        return "false-hit"
+    if root.attrs.get("coalesced"):
+        return "coalesced"
+    if source == "local-cache":
+        return "local-hit"
+    if source == "remote-cache":
+        return "remote-hit"
+    if source == "exec":
+        if root.attrs.get("uncacheable"):
+            return "uncacheable"
+        return "miss"
+    return source or "unknown"
+
+
+def request_records(dump: TraceDump) -> List[RequestRecord]:
+    """Reconstruct one :class:`RequestRecord` per complete request trace.
+
+    Traces whose root span never closed (the simulation ended mid-request)
+    are skipped — partial anatomies would skew every aggregate.
+    """
+    records: List[RequestRecord] = []
+    for trace_id, spans in sorted(dump.traces().items()):
+        root = next((s for s in spans if s.parent_id is None), None)
+        if root is None or root.end is None:
+            continue
+        shares = {category: 0.0 for category in SPAN_CATEGORIES}
+        covered = 0.0
+        for span in spans:
+            if span.parent_id != root.span_id or span.end is None:
+                continue
+            category = span.category if span.category in shares else "other"
+            shares[category] += span.duration
+            covered += span.duration
+        total = root.duration
+        # Time under the root not covered by any direct child: scheduling
+        # gaps between phases.  Attributed to "other".
+        shares["other"] += max(0.0, total - covered)
+        records.append(
+            RequestRecord(
+                trace_id=trace_id,
+                url=str(root.attrs.get("url", "")),
+                kind=str(root.attrs.get("kind", "")),
+                node=root.node,
+                outcome=outcome_of(root),
+                start=root.start,
+                total=total,
+                shares=shares,
+                retries=int(root.attrs.get("false_hit_retries", 0)),
+            )
+        )
+    return records
+
+
+def _by_outcome(records: Sequence[RequestRecord]) -> List[Tuple[str, List[RequestRecord]]]:
+    grouped: Dict[str, List[RequestRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.outcome, []).append(record)
+    known = [o for o in _OUTCOME_ORDER if o in grouped]
+    extra = sorted(o for o in grouped if o not in _OUTCOME_ORDER)
+    return [(o, grouped[o]) for o in known + extra]
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    if not samples:
+        return math.nan
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def render_breakdown(records: Sequence[RequestRecord]) -> str:
+    """Per-outcome critical-path shares: queueing vs CPU vs network vs disk."""
+    if not records:
+        return "(no complete request traces)"
+    rows = []
+    for outcome, group in _by_outcome(records):
+        n = len(group)
+        total = sum(r.total for r in group)
+        mean = total / n
+        row = [outcome, n, mean]
+        for category in SPAN_CATEGORIES:
+            cat_total = sum(r.share(category) for r in group)
+            row.append(100.0 * cat_total / total if total else 0.0)
+        rows.append(tuple(row))
+    return render_table(
+        "Latency breakdown by cache outcome (% of total time)",
+        ["outcome", "requests", "mean (s)", "queue %", "cpu %", "network %",
+         "disk %", "other %"],
+        rows,
+        note="queue = request wire time + listen-mailbox wait + dispatch; "
+        "other = scheduling gaps not covered by any child span",
+    )
+
+
+def render_percentiles(records: Sequence[RequestRecord]) -> str:
+    """Per-outcome response-time percentile table."""
+    if not records:
+        return "(no complete request traces)"
+    rows = []
+    for outcome, group in _by_outcome(records):
+        samples = [r.total for r in group]
+        rows.append(
+            (
+                outcome,
+                len(samples),
+                sum(samples) / len(samples),
+                _percentile(samples, 50),
+                _percentile(samples, 90),
+                _percentile(samples, 95),
+                _percentile(samples, 99),
+                max(samples),
+            )
+        )
+    return render_table(
+        "Response-time percentiles by cache outcome (seconds)",
+        ["outcome", "n", "mean", "p50", "p90", "p95", "p99", "max"],
+        rows,
+    )
+
+
+def _span_depth(span: Span, by_id: Dict[int, Span]) -> int:
+    depth = 0
+    current = span
+    while current.parent_id is not None:
+        parent = by_id.get(current.parent_id)
+        if parent is None:
+            break
+        depth += 1
+        current = parent
+    return depth
+
+
+def render_timeline(
+    dump: TraceDump, trace_id: Optional[int] = None, width: int = 48
+) -> str:
+    """ASCII Gantt chart of every span in one trace.
+
+    ``trace_id=None`` picks the first complete trace in the file.
+    """
+    traces = dump.traces()
+    if not traces:
+        return "(empty trace file)"
+    if trace_id is None:
+        for tid, spans in sorted(traces.items()):
+            root = next((s for s in spans if s.parent_id is None), None)
+            if root is not None and root.end is not None:
+                trace_id = tid
+                break
+        if trace_id is None:
+            return "(no complete trace to draw)"
+    if trace_id not in traces:
+        raise KeyError(
+            f"trace {trace_id} not in file (have {sorted(traces)[:10]}...)"
+        )
+    spans = traces[trace_id]
+    by_id = {s.span_id: s for s in spans}
+    root = next((s for s in spans if s.parent_id is None), None)
+    if root is None:
+        return f"(trace {trace_id} has no root span)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans if s.end is not None)
+    extent = max(t1 - t0, 1e-12)
+
+    header = (
+        f"trace {trace_id}  url={root.attrs.get('url', '?')}  "
+        f"outcome={outcome_of(root)}  node={root.node}  "
+        f"total={root.duration * 1e3:.3f}ms"
+    )
+    name_w = max(
+        (len("  " * _span_depth(s, by_id) + s.name) for s in spans), default=4
+    )
+    lines = [header, ""]
+    lines.append(
+        f"{'span'.ljust(name_w)}  {'cat'.ljust(7)}  {'ms'.rjust(9)}  timeline"
+    )
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        label = "  " * _span_depth(span, by_id) + span.name
+        if span.end is None:
+            lines.append(
+                f"{label.ljust(name_w)}  {span.category.ljust(7)}  "
+                f"{'open'.rjust(9)}  (never closed)"
+            )
+            continue
+        lead = int(round((span.start - t0) / extent * width))
+        length = max(1, int(round(span.duration / extent * width)))
+        length = min(length, width - min(lead, width - 1))
+        bar = " " * min(lead, width - 1) + "█" * length
+        lines.append(
+            f"{label.ljust(name_w)}  {span.category.ljust(7)}  "
+            f"{span.duration * 1e3:9.3f}  |{bar.ljust(width)}|"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_report(dump: TraceDump) -> str:
+    """Default ``repro trace`` output: summary + breakdown + percentiles."""
+    records = request_records(dump)
+    n_open = sum(
+        1
+        for spans in dump.traces().values()
+        for s in spans
+        if s.parent_id is None and s.end is None
+    )
+    lines = [
+        f"{len(dump.spans)} spans in {len(dump.traces())} traces "
+        f"({len(records)} complete requests, {n_open} unfinished), "
+        f"{len(dump.events)} engine events",
+        "",
+        render_breakdown(records),
+        "",
+        render_percentiles(records),
+    ]
+    return "\n".join(lines)

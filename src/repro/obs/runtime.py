@@ -1,0 +1,40 @@
+"""The process-wide active run observer.
+
+Experiment harnesses build their simulators and clusters several layers
+below the CLI, so ``--trace-out``/``--metrics-out`` cannot thread a
+collector down every call chain.  Instead this module holds one active
+observer slot: the CLI installs an observer with :func:`observing`, and
+the places that construct servers/clusters (``SwalaCluster.start``, the
+run helpers in :mod:`repro.experiments.common`) look it up with
+:func:`current_observer` and attach themselves.
+
+The slot deliberately knows nothing about what an observer *is* beyond
+``attach(target)`` — keeping this module dependency-free so the core
+layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["current_observer", "observing"]
+
+_OBSERVER: Optional[object] = None
+
+
+def current_observer() -> Optional[object]:
+    """The active observer, or ``None`` when observability is off."""
+    return _OBSERVER
+
+
+@contextmanager
+def observing(observer: Optional[object]):
+    """Make ``observer`` the active one for runs started inside the block."""
+    global _OBSERVER
+    previous = _OBSERVER
+    _OBSERVER = observer
+    try:
+        yield observer
+    finally:
+        _OBSERVER = previous

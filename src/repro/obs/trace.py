@@ -1,0 +1,359 @@
+"""Request-scoped tracing: spans and the bounded trace collector.
+
+A **span** is a named, timed interval on the simulation clock with a
+parent link, a node attribution, and a *category* (``queue`` / ``cpu`` /
+``network`` / ``disk`` / ``other``) that the latency-breakdown analyzer
+aggregates over.  Every request gets a fresh *trace id* when a server
+accepts it; the server's request path and the cacher's fetch/insert
+machinery open child spans under that root, and network message hops can
+attach themselves to whichever span caused them.
+
+The :class:`TraceCollector` is deliberately **simulator-agnostic**: spans
+carry explicit sim-clock timestamps supplied by the instrumented code
+(via :meth:`~repro.sim.Simulator.monotonic`), so one collector can
+accumulate spans across the several back-to-back simulations an
+experiment command runs.  It is bounded (``max_spans`` / ``max_events``)
+so an unbounded run cannot exhaust memory; overflow is counted in
+``dropped`` rather than silently discarded.
+
+Export is deterministic JSONL: one object per line, sorted keys, compact
+separators — two runs with the same seed produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "TraceDump",
+    "load_jsonl",
+    "start_child",
+    "finish_span",
+    "SPAN_CATEGORIES",
+]
+
+#: Categories the breakdown analyzer knows about.  ``queue`` covers the
+#: interval between the client's send and the request thread picking the
+#: connection up (request wire time + listen-mailbox wait + dispatch).
+SPAN_CATEGORIES = ("queue", "cpu", "network", "disk", "other")
+
+
+class Span:
+    """One timed interval of one trace.  Created via the collector."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "node",
+        "category",
+        "start",
+        "end",
+        "tick",
+        "attrs",
+        "recorded",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        node: str,
+        category: str,
+        start: float,
+        tick: int,
+        attrs: Dict[str, Any],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.tick = tick
+        self.attrs = attrs
+        #: False when the collector was full and this span was not stored.
+        self.recorded = True
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} not closed")
+        return self.end - self.start
+
+    def close(self, end: float, **attrs: Any) -> "Span":
+        """Close the span at sim time ``end``; extra attrs are merged in."""
+        if self.end is not None:
+            raise RuntimeError(f"span {self.name!r} already closed")
+        if end < self.start:
+            raise ValueError(
+                f"span {self.name!r} would end before it starts "
+                f"({end} < {self.start})"
+            )
+        self.end = end
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "tick": self.tick,
+            "attrs": self.attrs,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Span":
+        span = Span(
+            trace_id=data["trace"],
+            span_id=data["span"],
+            parent_id=data.get("parent"),
+            name=data["name"],
+            node=data.get("node", ""),
+            category=data.get("category", "other"),
+            start=data["start"],
+            tick=data.get("tick", 0),
+            attrs=dict(data.get("attrs") or {}),
+        )
+        span.end = data.get("end")
+        return span
+
+    def __repr__(self) -> str:
+        state = f"end={self.end:.6g}" if self.end is not None else "open"
+        return (
+            f"<Span {self.name!r} trace={self.trace_id} id={self.span_id} "
+            f"cat={self.category} start={self.start:.6g} {state}>"
+        )
+
+
+class TraceCollector:
+    """Bounded per-run accumulator of spans (and optional engine events).
+
+    ``record_event`` is the bridge from :class:`repro.sim.EventTracer`:
+    raw engine events land in a separate bounded ring so a span trace can
+    carry low-level scheduling context without growing without bound.
+    """
+
+    def __init__(self, max_spans: int = 200_000, max_events: int = 10_000):
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        #: Spans not stored because the collector was full.
+        self.dropped = 0
+        self.events: Deque[Tuple[float, str, str]] = deque(maxlen=max_events)
+        #: Engine events evicted from the bounded ring.
+        self.events_dropped = 0
+        #: Bumped by :meth:`new_run`; stamped on every span so one
+        #: collector can cover several back-to-back simulations.
+        self.run = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # -- span creation ----------------------------------------------------
+    def new_run(self, label: Optional[str] = None) -> int:
+        """Mark the start of another simulation feeding this collector."""
+        self.run += 1
+        return self.run
+
+    def start_trace(
+        self,
+        name: str,
+        *,
+        node: str,
+        start: float,
+        tick: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """Open a root span under a brand-new trace id."""
+        return self._make(
+            next(self._trace_ids), None, name, node, "other", start, tick, attrs
+        )
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: Span,
+        category: str = "other",
+        node: str = "",
+        start: float,
+        tick: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """Open a child span of ``parent`` (same trace)."""
+        return self._make(
+            parent.trace_id,
+            parent.span_id,
+            name,
+            node or parent.node,
+            category,
+            start,
+            tick,
+            attrs,
+        )
+
+    def _make(self, trace_id, parent_id, name, node, category, start, tick, attrs):
+        attrs = dict(attrs)
+        if self.run:
+            attrs.setdefault("run", self.run)
+        span = Span(
+            trace_id, next(self._span_ids), parent_id, name, node, category,
+            start, tick, attrs,
+        )
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            span.recorded = False
+        else:
+            self.spans.append(span)
+        return span
+
+    # -- engine-event bridge ---------------------------------------------
+    def record_event(self, time: float, kind: str, detail: str) -> None:
+        """Sink for :class:`repro.sim.EventTracer` records."""
+        if len(self.events) == self.events.maxlen:
+            self.events_dropped += 1
+        self.events.append((time, kind, detail))
+
+    # -- queries ----------------------------------------------------------
+    def traces(self) -> Dict[int, List[Span]]:
+        """Spans grouped by trace id, in creation order."""
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export -----------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Deterministic JSONL: spans in (trace, span-id) order, then the
+        engine-event ring.  Identical seeds => byte-identical output."""
+        lines = []
+        for span in sorted(self.spans, key=lambda s: (s.trace_id, s.span_id)):
+            lines.append(
+                json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            )
+        for time, kind, detail in self.events:
+            lines.append(
+                json.dumps(
+                    {"type": "event", "time": time, "kind": kind, "detail": detail},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceCollector spans={len(self.spans)} dropped={self.dropped} "
+            f"events={len(self.events)} run={self.run}>"
+        )
+
+
+class TraceDump:
+    """A loaded trace file: spans plus the raw engine-event tail."""
+
+    def __init__(self, spans: List[Span], events: List[Tuple[float, str, str]]):
+        self.spans = spans
+        self.events = events
+
+    def traces(self) -> Dict[int, List[Span]]:
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<TraceDump spans={len(self.spans)} events={len(self.events)}>"
+
+
+def load_jsonl(path: Union[str, Path]) -> TraceDump:
+    """Load a trace file written by :meth:`TraceCollector.write_jsonl`."""
+    spans: List[Span] = []
+    events: List[Tuple[float, str, str]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+        if data.get("type") == "event":
+            events.append((data["time"], data["kind"], data["detail"]))
+        elif data.get("type") == "span":
+            spans.append(Span.from_dict(data))
+        else:
+            raise ValueError(
+                f"{path}:{lineno}: unknown record type {data.get('type')!r}"
+            )
+    return TraceDump(spans, events)
+
+
+# -- no-op-friendly helpers for instrumented code ---------------------------
+
+def start_child(
+    tracer: Optional[TraceCollector],
+    parent: Optional[Span],
+    name: str,
+    *,
+    category: str,
+    node: str,
+    clock: Tuple[float, int],
+) -> Optional[Span]:
+    """Child span, or ``None`` when tracing is off — callers never branch."""
+    if tracer is None or parent is None:
+        return None
+    now, tick = clock
+    return tracer.start_span(
+        name, parent=parent, category=category, node=node, start=now, tick=tick
+    )
+
+
+def finish_span(span: Optional[Span], end: float, **attrs: Any) -> None:
+    """Close ``span`` if tracing was on; silently no-op otherwise."""
+    if span is not None:
+        span.close(end, **attrs)

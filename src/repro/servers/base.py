@@ -4,6 +4,11 @@ The concrete servers differ in their concurrency architecture and per-
 request costs, but share: a listen mailbox on the network, static-file
 serving through the machine's filesystem, CGI execution via fork/exec on
 the machine's CPU, and response transmission over the LAN.
+
+Every building block accepts an optional parent *span* so a
+:class:`~repro.obs.TraceCollector` attached via :meth:`BaseServer.
+attach_tracer` sees the whole request anatomy; with no tracer attached
+(the default) the span arguments stay ``None`` and the path is untouched.
 """
 
 from __future__ import annotations
@@ -53,6 +58,9 @@ class BaseServer:
         self.stats = NodeStats(node=self.name)
         #: Optional CLF access log (see :meth:`enable_access_log`).
         self.access_log = None
+        #: Optional :class:`~repro.obs.TraceCollector`; ``None`` => tracing
+        #: off and the request path pays only ``is None`` checks.
+        self.tracer = None
         self._started = False
 
     def enable_access_log(self) -> "AccessLog":
@@ -62,6 +70,51 @@ class BaseServer:
         if self.access_log is None:
             self.access_log = AccessLog(server=self.name)
         return self.access_log
+
+    def attach_tracer(self, collector) -> None:
+        """Collect per-request spans into ``collector`` from now on."""
+        self.tracer = collector
+
+    # -- span helpers (no-ops while no tracer is attached) -------------------
+    def _trace_request(self, conn: HttpConnection):
+        """Root span for one request, plus its queue-time child.
+
+        The root starts at the client's send time, so its duration equals
+        the response time :meth:`finish` records; the ``queue`` child
+        covers everything up to this thread picking the connection up
+        (request wire time + listen-mailbox wait + dispatch).
+        """
+        if self.tracer is None:
+            return None
+        now, tick = self.sim.monotonic()
+        request = conn.request
+        root = self.tracer.start_trace(
+            "request",
+            node=self.name,
+            start=conn.sent_at,
+            tick=tick,
+            url=request.url,
+            kind=request.kind.value,
+            client=conn.client,
+        )
+        self.tracer.start_span(
+            "queue", parent=root, category="queue", node=self.name,
+            start=conn.sent_at, tick=tick,
+        ).close(now)
+        return root
+
+    def _span(self, parent, name: str, category: str):
+        if parent is None or self.tracer is None:
+            return None
+        now, tick = self.sim.monotonic()
+        return self.tracer.start_span(
+            name, parent=parent, category=category, node=self.name,
+            start=now, tick=tick,
+        )
+
+    def _end_span(self, span, **attrs) -> None:
+        if span is not None:
+            span.close(self.sim.now, **attrs)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -77,24 +130,36 @@ class BaseServer:
                 self.machine.fs.create(request.url, request.response_size)
 
     # -- request-path building blocks ---------------------------------------
-    def accept_cost(self) -> Generator:
+    def accept_cost(self, span=None) -> Generator:
         """Per-connection accept + parse CPU."""
-        yield self.machine.accept_and_parse()
+        child = self._span(span, "accept", "cpu")
+        try:
+            yield self.machine.accept_and_parse()
+        finally:
+            self._end_span(child)
 
-    def serve_static(self, request: Request) -> Generator:
+    def serve_static(self, request: Request, span=None) -> Generator:
         """Open/read/prepare a static file for sending."""
-        yield from self.machine.serve_file(request.url, mmap=self.use_mmap)
-        self.stats.files_served += 1
+        child = self._span(span, "read-file", "disk")
+        try:
+            yield from self.machine.serve_file(request.url, mmap=self.use_mmap)
+            self.stats.files_served += 1
+        finally:
+            self._end_span(child)
 
-    def execute_cgi(self, request: Request) -> Generator:
+    def execute_cgi(self, request: Request, span=None) -> Generator:
         """fork()+exec() the CGI and run its body on this machine's CPU."""
-        yield self.machine.compute(
-            self.machine.costs.cgi_fork_exec_cpu * self.cgi_overhead_factor
-        )
-        if request.cpu_time:
-            yield self.machine.compute(request.cpu_time)
-        self.stats.cgi_executed += 1
-        self.stats.exec_times.observe(request.cpu_time)
+        child = self._span(span, "execute", "cpu")
+        try:
+            yield self.machine.compute(
+                self.machine.costs.cgi_fork_exec_cpu * self.cgi_overhead_factor
+            )
+            if request.cpu_time:
+                yield self.machine.compute(request.cpu_time)
+            self.stats.cgi_executed += 1
+            self.stats.exec_times.observe(request.cpu_time)
+        finally:
+            self._end_span(child)
 
     def respond(self, conn: HttpConnection, source: str, ok: bool = True) -> HttpResponse:
         """Transmit the response body back to the client (fire-and-forget —
@@ -108,31 +173,39 @@ class BaseServer:
         )
         return response
 
-    def send_cpu(self, request: Request) -> Generator:
+    def send_cpu(self, request: Request, span=None) -> Generator:
         """TCP-stack CPU for pushing the response out."""
-        yield self.machine.send_bytes_cpu(
-            request.response_size + HTTP_RESPONSE_HEADER_BYTES
-        )
+        child = self._span(span, "send", "cpu")
+        try:
+            yield self.machine.send_bytes_cpu(
+                request.response_size + HTTP_RESPONSE_HEADER_BYTES
+            )
+        finally:
+            self._end_span(child)
 
     # -- the per-request workflow --------------------------------------------
     def handle(self, conn: HttpConnection) -> Generator:
         """Default request path: static files + uncached CGI execution."""
-        yield from self.accept_cost()
+        span = self._trace_request(conn)
+        yield from self.accept_cost(span)
         if conn.request.kind is RequestKind.FILE:
-            yield from self.serve_static(conn.request)
+            yield from self.serve_static(conn.request, span)
             source = "file"
         else:
-            yield from self.execute_cgi(conn.request)
+            yield from self.execute_cgi(conn.request, span)
             source = "exec"
-        yield from self.send_cpu(conn.request)
-        self.finish(conn, source)
+        yield from self.send_cpu(conn.request, span)
+        self.finish(conn, source, span=span)
 
-    def finish(self, conn: HttpConnection, source: str, ok: bool = True) -> None:
+    def finish(
+        self, conn: HttpConnection, source: str, ok: bool = True, span=None
+    ) -> None:
         """Send the response and do all completion accounting."""
         self.respond(conn, source, ok)
         self.stats.requests += 1
         elapsed = self.sim.now - conn.sent_at
         self.stats.observe_response(source, elapsed)
+        self._end_span(span, outcome=source, ok=ok)
         if self.access_log is not None:
             self.access_log.record(
                 conn.client, conn.sent_at, conn.request, elapsed, ok

@@ -34,11 +34,15 @@ class EnterpriseServer(ThreadPoolServer):
         super().__init__(sim, machine, network, name, n_threads=n_threads)
         self._open_connections = 0
 
-    def accept_cost(self):
-        yield self.machine.compute(
-            self.machine.costs.accept_parse_cpu * self.accept_discount
-            + self.select_scan_cpu_per_conn * self._open_connections
-        )
+    def accept_cost(self, span=None):
+        child = self._span(span, "accept", "cpu")
+        try:
+            yield self.machine.compute(
+                self.machine.costs.accept_parse_cpu * self.accept_discount
+                + self.select_scan_cpu_per_conn * self._open_connections
+            )
+        finally:
+            self._end_span(child)
 
     def handle(self, conn):
         self._open_connections += 1

@@ -383,6 +383,7 @@ class Simulator:
         self._now: float = 0.0
         self._queue: list = []
         self._seq: int = 0
+        self._ticks: int = 0
         self._active_process: Optional[Process] = None
         #: Callables invoked as ``hook(time, event)`` after each processed
         #: event — observability taps (see :mod:`repro.sim.probes`).
@@ -392,6 +393,20 @@ class Simulator:
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def ticks(self) -> int:
+        """Number of events processed so far (a deterministic step counter)."""
+        return self._ticks
+
+    def monotonic(self) -> tuple:
+        """Monotonic span clock: ``(now, ticks)``.
+
+        ``now`` alone cannot order two spans opened at the same simulation
+        instant; the tick component breaks those ties deterministically
+        (tracing instrumentation records both).
+        """
+        return (self._now, self._ticks)
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -431,6 +446,7 @@ class Simulator:
         except IndexError:
             raise StopSimulation("no scheduled events") from None
 
+        self._ticks += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

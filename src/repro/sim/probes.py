@@ -24,14 +24,20 @@ class EventTracer:
     Bounded (``maxlen``) so long runs cannot exhaust memory; attach/detach
     at will.  ``detail`` is the process name for process events, else the
     event class name.
+
+    ``collector`` optionally forwards every record to a
+    :class:`~repro.obs.TraceCollector` (its bounded engine-event ring), so
+    a span trace can carry low-level scheduling context alongside the
+    request spans.
     """
 
     def __init__(self, sim: Simulator, maxlen: int = 10_000,
-                 include_timeouts: bool = True):
+                 include_timeouts: bool = True, collector=None):
         if maxlen < 1:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self.sim = sim
         self.include_timeouts = include_timeouts
+        self.collector = collector
         self.records: Deque[Tuple[float, str, str]] = deque(maxlen=maxlen)
         self.dropped = 0
         self._attached = False
@@ -62,6 +68,8 @@ class EventTracer:
         if len(self.records) == self.records.maxlen:
             self.dropped += 1
         self.records.append((now, kind, detail))
+        if self.collector is not None:
+            self.collector.record_event(now, kind, detail)
 
     def of_kind(self, kind: str):
         return [r for r in self.records if r[1] == kind]

@@ -63,6 +63,21 @@ class TestSerializers:
     def test_csv_empty(self):
         assert rows_to_csv([]) == ""
 
+    def test_csv_header_union_of_mixed_row_types(self):
+        @dataclass(frozen=True)
+        class Extended:
+            name: str
+            value: float
+            count: int
+            extra: str
+
+        text = rows_to_csv([ROWS[0], Extended("c", 3.0, 1, "tail")])
+        lines = text.strip().splitlines()
+        # Union of keys in first-seen order; SampleRow lacks "extra".
+        assert lines[0] == "name,value,count,doubled,extra"
+        assert lines[1] == "a,1.5,3,3.0,"
+        assert lines[2] == "c,3.0,1,,tail"
+
 
 class TestWriteRows:
     def test_write_json(self, tmp_path):
@@ -78,6 +93,17 @@ class TestWriteRows:
     def test_unknown_extension(self, tmp_path):
         with pytest.raises(ValueError):
             write_rows(ROWS, tmp_path / "rows.xlsx")
+
+    def test_creates_missing_parent_dirs(self, tmp_path):
+        path = tmp_path / "results" / "2026" / "rows.csv"
+        write_rows(ROWS, path)
+        assert path.read_text().startswith("name,value")
+
+    def test_unknown_extension_creates_nothing(self, tmp_path):
+        target = tmp_path / "newdir" / "rows.xlsx"
+        with pytest.raises(ValueError):
+            write_rows(ROWS, target)
+        assert not target.parent.exists()
 
     def test_real_experiment_rows_export(self, tmp_path):
         from repro.experiments import run_table3

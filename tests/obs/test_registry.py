@@ -1,0 +1,165 @@
+"""Tests for the metrics registry and its exposition formats."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_network,
+    collect_node_stats,
+    observe_tally,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("hits_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self, reg):
+        c = reg.counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels(self, reg):
+        c = reg.counter("hits_total", labelnames=("node",))
+        c.labels(node="n0").inc(2)
+        c.labels(node="n1").inc(3)
+        assert c.labels(node="n0").value == 2
+        with pytest.raises(ValueError):
+            c.inc()  # labeled counter needs .labels()
+        with pytest.raises(ValueError):
+            c.labels(wrong="x")
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("1bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("load")
+        g.set(10)
+        assert g.value == 10
+        child = g.labels()
+        child.inc(2.5)
+        child.dec(0.5)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, reg):
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_bad_buckets(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("h2", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same(self, reg):
+        assert reg.counter("x_total") is reg.counter("x_total")
+        assert len(reg) == 1
+
+    def test_type_mismatch_rejected(self, reg):
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("node",))
+        reg.histogram("h_seconds")
+        with pytest.raises(ValueError):
+            reg.histogram("h_seconds", labelnames=("node",))
+
+    def test_prometheus_exposition_shape(self, reg):
+        c = reg.counter("hits_total", "The hits", labelnames=("node",))
+        c.labels(node="b").inc()
+        c.labels(node="a").inc(2)
+        text = reg.render_prometheus()
+        lines = text.splitlines()
+        assert lines[0] == "# HELP hits_total The hits"
+        assert lines[1] == "# TYPE hits_total counter"
+        # label children sorted => deterministic output
+        assert lines[2] == 'hits_total{node="a"} 2'
+        assert lines[3] == 'hits_total{node="b"} 1'
+
+    def test_json_round_trip(self, reg):
+        reg.counter("x_total", "X").inc(3)
+        data = json.loads(reg.render_json())
+        assert data["x_total"]["type"] == "counter"
+        assert data["x_total"]["series"][0]["value"] == 3
+
+    def test_write_json_vs_prometheus(self, tmp_path, reg):
+        reg.counter("x_total").inc()
+        j = reg.write(tmp_path / "deep" / "m.json")  # creates parents
+        p = reg.write(tmp_path / "m.prom")
+        assert json.loads(j.read_text())["x_total"]
+        assert p.read_text().startswith("# TYPE x_total counter")
+
+    def test_empty_renders(self, reg):
+        assert reg.render_prometheus() == ""
+        assert json.loads(reg.render_json()) == {}
+
+
+class TestAdapters:
+    def test_collect_node_stats_from_real_run(self):
+        from repro.clients import ClientThread
+        from repro.core import CacheMode, SwalaCluster, SwalaConfig
+        from repro.sim import Simulator
+        from repro.workload import Request
+
+        sim = Simulator()
+        cluster = SwalaCluster(
+            sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE)
+        )
+        cluster.start()
+        cgi = Request.cgi("/cgi-bin/q", cpu_time=0.5, response_size=1000)
+        for idx in (0, 1):
+            t = ClientThread(
+                sim, cluster.network, f"c{idx}", cluster.node_names[idx],
+                [cgi],
+            )
+            sim.run(until=t.start())
+
+        reg = MetricsRegistry()
+        for server in cluster.servers:
+            collect_node_stats(reg, server.stats)
+        collect_network(reg, cluster.network)
+        text = reg.render_prometheus()
+        assert 'swala_requests_total{node="swala0"} 1' in text
+        assert 'swala_cache_hits_total{node="swala1",type="remote"} 1' in text
+        assert 'net_messages_sent_total{network="lan"}' in text
+        assert "swala_response_seconds_bucket" in text
+
+    def test_observe_tally(self, reg):
+        from repro.sim import Tally
+
+        tally = Tally("t", keep_samples=True)
+        for v in (0.01, 0.2):
+            tally.observe(v)
+        observe_tally(reg, "t_seconds", tally, node="n0")
+        text = reg.render_prometheus()
+        assert 't_seconds_count{node="n0"} 2' in text

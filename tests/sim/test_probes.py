@@ -89,6 +89,58 @@ class TestEventTracer:
         times = [r[0] for r in tracer.records]
         assert times == sorted(times)
 
+    def test_exact_drop_accounting(self, sim):
+        """dropped counts exactly the records evicted from the ring."""
+        bounded = EventTracer(sim, maxlen=5)
+        unbounded = EventTracer(sim)
+        bounded.attach()
+        unbounded.attach()
+
+        def proc():
+            for _ in range(20):
+                yield sim.timeout(1)
+
+        sim.process(proc())
+        sim.run()
+        total = len(unbounded.records)
+        assert len(bounded) == 5
+        assert bounded.dropped == total - 5
+        # The ring keeps the newest records, not the oldest.
+        assert list(bounded.records) == list(unbounded.records)[-5:]
+
+    def test_forwards_to_trace_collector(self, sim):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector()
+        tracer = EventTracer(sim, collector=collector)
+        tracer.attach()
+
+        def proc():
+            yield sim.timeout(1)
+            yield sim.timeout(2)
+
+        sim.process(proc(), name="worker")
+        sim.run()
+        assert list(collector.events) == list(tracer.records)
+        assert any(kind == "Timeout" for _, kind, _ in collector.events)
+
+    def test_collector_ring_bounded_independently(self, sim):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector(max_events=3)
+        tracer = EventTracer(sim, maxlen=100, collector=collector)
+        tracer.attach()
+
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1)
+
+        sim.process(proc())
+        sim.run()
+        assert tracer.dropped == 0  # EventTracer's own ring was big enough
+        assert len(collector.events) == 3
+        assert collector.events_dropped == len(tracer.records) - 3
+
 
 class TestSampler:
     def test_samples_cpu_load_curve(self, sim):
@@ -110,6 +162,20 @@ class TestSampler:
         sim.run()
         assert sim.now <= 5.0
         assert series.points[-1][0] <= 5.0
+
+    def test_until_horizon_inclusive_boundary(self, sim):
+        """A sample landing exactly on ``until`` is taken; none after."""
+        series = sample(sim, 1.0, lambda: 1.0, until=3.0)
+        sim.run()
+        assert [t for t, _ in series.points] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_until_horizon_fractional_interval(self, sim):
+        # until=2.0, interval=0.75: samples at .75 and 1.5; 2.25 > 2.0.
+        series = sample(sim, 0.75, lambda: 1.0, until=2.0)
+        sim.run()
+        times = [t for t, _ in series.points]
+        assert times == pytest.approx([0.0, 0.75, 1.5])
+        assert sim.now == pytest.approx(1.5)
 
     def test_bad_interval(self, sim):
         with pytest.raises(ValueError):

@@ -25,6 +25,9 @@ class TestPublicExports:
             ("repro.lb", ["LoadBalancer", "BALANCER_POLICIES"]),
             ("repro.proxy", ["ProxyCache"]),
             ("repro.experiments", ["run_table1", "run_figure4", "replicate"]),
+            ("repro.obs", ["TraceCollector", "Span", "MetricsRegistry",
+                           "request_records", "render_breakdown",
+                           "load_jsonl"]),
             ("repro.parallel", ["run_grid", "map_parallel"]),
         ],
     )

@@ -23,10 +23,20 @@ class TestParser:
             ["table1"], ["table2"], ["figure3"], ["figure4"], ["table3"],
             ["table4"], ["table5"], ["table6"], ["ablation", "ttl"],
             ["analyze-log", "x.log"], ["gen-trace", "zipf", "-o", "t"],
-            ["all"],
+            ["all"], ["trace", "t.jsonl"],
         ):
             args = parser.parse_args(cmd)
             assert callable(args.func)
+
+    def test_observability_flags_on_experiment_commands(self):
+        parser = build_parser()
+        for cmd in (["figure3"], ["table3"], ["run-config", "c.ini",
+                                             "--trace", "t.jsonl"]):
+            args = parser.parse_args(
+                cmd + ["--trace-out", "s.jsonl", "--metrics-out", "m.prom"]
+            )
+            assert args.trace_out == "s.jsonl"
+            assert args.metrics_out == "m.prom"
 
 
 class TestCommands:
@@ -138,3 +148,102 @@ class TestRunConfig:
         save_trace(Trace([], name="empty"), trace)
         rc = main(["run-config", str(conf), "--trace", str(trace)])
         assert rc == 2
+
+
+class TestTracing:
+    @pytest.fixture
+    def span_file(self, capsys, tmp_path):
+        """Run a small cooperative cluster with --trace-out."""
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = cooperative\ncapacity = 40\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(80, 15, seed=2), trace)
+        spans = tmp_path / "out" / "spans.jsonl"
+        metrics = tmp_path / "out" / "metrics.prom"
+        rc = main(["run-config", str(conf), "--trace", str(trace),
+                   "--nodes", "2", "--clients", "4",
+                   "--trace-out", str(spans), "--metrics-out", str(metrics)])
+        assert rc == 0
+        capsys.readouterr()
+        return spans, metrics
+
+    def test_run_config_writes_artifacts(self, span_file):
+        spans, metrics = span_file
+        assert spans.exists()
+        assert metrics.read_text().startswith("# HELP")
+
+    def test_trace_default_report(self, capsys, span_file):
+        spans, _ = span_file
+        rc = main(["trace", str(spans)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "complete requests" in out
+        assert "Latency breakdown" in out
+        assert "percentiles" in out
+
+    def test_trace_breakdown_only(self, capsys, span_file):
+        spans, _ = span_file
+        rc = main(["trace", str(spans), "--breakdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "queue %" in out
+        assert "percentiles" not in out
+
+    def test_trace_timeline(self, capsys, span_file):
+        spans, _ = span_file
+        rc = main(["trace", str(spans), "--timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "█" in out
+
+    def test_trace_timeline_bad_id(self, capsys, span_file):
+        spans, _ = span_file
+        rc = main(["trace", str(spans), "--timeline", "--trace-id", "99999"])
+        assert rc == 2
+        assert "no trace with id" in capsys.readouterr().err
+
+    def test_trace_missing_file(self, capsys):
+        rc = main(["trace", "/nonexistent.jsonl"])
+        assert rc == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_trace_garbage_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        rc = main(["trace", str(bad)])
+        assert rc == 2
+
+    def test_trace_out_deterministic(self, capsys, tmp_path):
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = cooperative\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(40, 10, seed=5), trace)
+
+        def run(tag):
+            out = tmp_path / f"spans-{tag}.jsonl"
+            rc = main(["run-config", str(conf), "--trace", str(trace),
+                       "--nodes", "2", "--clients", "4",
+                       "--trace-out", str(out)])
+            assert rc == 0
+            return out.read_bytes()
+
+        first, second = run("a"), run("b")
+        capsys.readouterr()
+        assert first == second
+
+    def test_figure3_trace_out(self, capsys, tmp_path):
+        spans = tmp_path / "f3.jsonl"
+        rc = main(["figure3", "--clients", "4", "--requests-per-client", "2",
+                   "--trace-out", str(spans)])
+        assert rc == 0
+        rc = main(["trace", str(spans), "--breakdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Figure 3 exercises local hits, remote hits, misses, and files.
+        assert "local-hit" in out
+        assert "remote-hit" in out
