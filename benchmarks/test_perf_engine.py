@@ -5,89 +5,39 @@ these measure the engine's raw throughput across repeated rounds — useful
 for catching performance regressions in the hot paths every experiment
 exercises: event dispatch, processor-sharing rescheduling, cache-store
 churn, and full request round-trips.
+
+The workload bodies live in ``repro.bench`` so ``repro bench`` (the
+pytest-free baseline snapshot CLI) times exactly the same code.  Each
+workload asserts its own correctness internally and returns the number
+of events it dispatched.
 """
 
-from repro.cache import CacheEntry, CacheStore
-from repro.clients import ClientFleet
-from repro.core import CacheMode, SwalaCluster, SwalaConfig
-from repro.hosts import Machine
-from repro.sim import ProcessorSharing, Simulator, Store
-from repro.workload import Trace, zipf_cgi_trace
-
-
-def _timeout_chain(n_events: int) -> float:
-    sim = Simulator()
-
-    def ticker():
-        for _ in range(n_events):
-            yield sim.timeout(1.0)
-
-    sim.process(ticker())
-    sim.run()
-    return sim.now
+from repro.bench import (
+    bench_cache_store,
+    bench_event_dispatch,
+    bench_full_request_path,
+    bench_processor_sharing,
+)
 
 
 def test_perf_event_dispatch(benchmark):
     """Throughput of the core event loop (timeout schedule + dispatch)."""
-    result = benchmark(_timeout_chain, 20_000)
-    assert result == 20_000
-
-
-def _ps_churn(n_jobs: int) -> int:
-    sim = Simulator()
-    cpu = ProcessorSharing(sim, ncpus=1)
-    finished = []
-
-    def job(i):
-        yield sim.timeout(i * 0.01)
-        yield cpu.execute(0.5)
-        finished.append(i)
-
-    for i in range(n_jobs):
-        sim.process(job(i))
-    sim.run()
-    return len(finished)
+    assert benchmark(bench_event_dispatch) > 0
 
 
 def test_perf_processor_sharing(benchmark):
     """Reschedule-heavy PS workload (staggered arrivals/overlaps)."""
-    assert benchmark(_ps_churn, 600) == 600
-
-
-def _store_churn(n_ops: int) -> int:
-    fs = Machine(Simulator(), "m").fs
-    store = CacheStore(fs, capacity=64, policy="lru")
-    for i in range(n_ops):
-        store.insert(
-            CacheEntry(url=f"/u{i % 200}", owner="m", size=1_000,
-                       exec_time=1.0, created=float(i)),
-            float(i),
-        )
-        if i % 3 == 0 and f"/u{i % 200}" in store:
-            store.record_access(f"/u{i % 200}", float(i))
-    return len(store)
+    assert benchmark(bench_processor_sharing) > 0
 
 
 def test_perf_cache_store(benchmark):
     """Insert/evict/access churn through the store + LRU policy + FS."""
-    assert benchmark(_store_churn, 5_000) == 64
-
-
-def _cluster_round_trips(n_requests: int) -> int:
-    sim = Simulator()
-    cluster = SwalaCluster(sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE))
-    cluster.start()
-    trace = zipf_cgi_trace(n_requests, 50, cpu_time_mean=0.05, seed=0)
-    fleet = ClientFleet(
-        sim, cluster.network, trace, servers=cluster.node_names, n_threads=8
-    )
-    times = fleet.run()
-    return times.count
+    assert benchmark(bench_cache_store) == 5_000
 
 
 def test_perf_full_request_path(benchmark):
     """End-to-end requests/second through the whole stack (2-node coop)."""
-    assert benchmark(_cluster_round_trips, 400) == 400
+    assert benchmark(bench_full_request_path) > 0
 
 
 def _locality_analysis(n_requests: int) -> int:

@@ -1,0 +1,215 @@
+"""Performance baseline harness behind ``repro bench``.
+
+The workload functions here are the single source of truth for the
+engine microbenchmarks: ``benchmarks/test_perf_engine.py`` wraps them
+under pytest-benchmark for CI statistics, while :func:`run_bench` times
+them directly (no pytest required) and emits a ``BENCH_<date>.json``
+snapshot with events/sec, wall time, and peak RSS.  Committing that
+snapshot gives future sessions a concrete number to regress against
+rather than a feeling that "it used to be faster".
+
+Each workload returns the number of engine events it dispatched (or a
+comparable unit-of-work count) so throughput can be reported as
+events/sec.  Wall times report both the minimum and the mean over the
+measured rounds; the minimum is the more stable number on a noisy
+machine and is what regression comparisons should use.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cache import CacheEntry, CacheStore
+from .clients import ClientFleet
+from .core import CacheMode, SwalaCluster, SwalaConfig
+from .hosts import Machine
+from .sim import ProcessorSharing, Simulator
+from .workload import zipf_cgi_trace
+
+__all__ = [
+    "BenchResult",
+    "BENCH_WORKLOADS",
+    "bench_event_dispatch",
+    "bench_processor_sharing",
+    "bench_cache_store",
+    "bench_full_request_path",
+    "run_bench",
+    "write_bench_report",
+]
+
+
+# --------------------------------------------------------------------------
+# Workloads.  Keep these small, deterministic, and dependency-free: they are
+# imported by the pytest-benchmark suite and must produce the same answers
+# under either harness.
+# --------------------------------------------------------------------------
+
+
+def bench_event_dispatch(n_events: int = 20_000) -> int:
+    """Core event-loop throughput: schedule + dispatch a timeout chain."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n_events):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run()
+    assert sim.now == n_events
+    return sim.ticks
+
+
+def bench_processor_sharing(n_jobs: int = 600) -> int:
+    """Reschedule-heavy PS workload (staggered arrivals and overlaps)."""
+    sim = Simulator()
+    cpu = ProcessorSharing(sim, ncpus=1)
+    finished = []
+
+    def job(i):
+        yield sim.timeout(i * 0.01)
+        yield cpu.execute(0.5)
+        finished.append(i)
+
+    for i in range(n_jobs):
+        sim.process(job(i))
+    sim.run()
+    assert len(finished) == n_jobs
+    return sim.ticks
+
+
+def bench_cache_store(n_ops: int = 5_000) -> int:
+    """Insert/evict/access churn through the store + LRU policy + FS."""
+    fs = Machine(Simulator(), "m").fs
+    store = CacheStore(fs, capacity=64, policy="lru")
+    for i in range(n_ops):
+        store.insert(
+            CacheEntry(url=f"/u{i % 200}", owner="m", size=1_000,
+                       exec_time=1.0, created=float(i)),
+            float(i),
+        )
+        if i % 3 == 0 and f"/u{i % 200}" in store:
+            store.record_access(f"/u{i % 200}", float(i))
+    assert len(store) == 64
+    return n_ops
+
+
+def bench_full_request_path(n_requests: int = 400) -> int:
+    """End-to-end requests through the whole stack (2-node coop cluster)."""
+    sim = Simulator()
+    cluster = SwalaCluster(sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE))
+    cluster.start()
+    trace = zipf_cgi_trace(n_requests, 50, cpu_time_mean=0.05, seed=0)
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names, n_threads=8
+    )
+    times = fleet.run()
+    assert times.count == n_requests
+    return sim.ticks
+
+
+#: name -> zero-argument workload callable returning an event count.
+BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
+    "event_dispatch": bench_event_dispatch,
+    "processor_sharing": bench_processor_sharing,
+    "cache_store": bench_cache_store,
+    "full_request_path": bench_full_request_path,
+}
+
+
+# --------------------------------------------------------------------------
+# Harness.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    name: str
+    rounds: int
+    events: int
+    wall_min_s: float
+    wall_mean_s: float
+    events_per_sec: float  # events / wall_min_s (min is the stable stat)
+
+
+def _time_workload(fn: Callable[[], int], rounds: int) -> Tuple[int, List[float]]:
+    events = fn()  # warmup round; also captures the event count
+    walls = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return events, walls
+
+
+def run_bench(
+    rounds: int = 5,
+    names: Optional[List[str]] = None,
+) -> List[BenchResult]:
+    """Time each workload for ``rounds`` measured rounds (after one warmup)."""
+    results = []
+    for name, fn in BENCH_WORKLOADS.items():
+        if names and name not in names:
+            continue
+        events, walls = _time_workload(fn, rounds)
+        wall_min = min(walls)
+        results.append(
+            BenchResult(
+                name=name,
+                rounds=rounds,
+                events=events,
+                wall_min_s=wall_min,
+                wall_mean_s=sum(walls) / len(walls),
+                events_per_sec=events / wall_min if wall_min > 0 else 0.0,
+            )
+        )
+    return results
+
+
+def write_bench_report(
+    results: List[BenchResult],
+    path: Path,
+    reference: Optional[dict] = None,
+) -> dict:
+    """Serialize a bench run (plus environment info) to ``path``.
+
+    ``reference`` is an optional dict of prior numbers (e.g. the pre-PR
+    baseline) stored verbatim under ``"reference"`` so the file is
+    self-describing about what it should be compared against.
+    """
+    # ru_maxrss is KB on Linux, bytes on macOS; normalize to KB.
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        maxrss //= 1024
+    report = {
+        "schema": "repro-bench-v1",
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "peak_rss_kb": maxrss,
+        "results": [asdict(r) for r in results],
+    }
+    if reference is not None:
+        report["reference"] = reference
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_bench(results: List[BenchResult]) -> str:
+    lines = [
+        f"{'benchmark':<20} {'rounds':>6} {'events':>8} "
+        f"{'min (ms)':>10} {'mean (ms)':>10} {'events/s':>12}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r.name:<20} {r.rounds:>6} {r.events:>8} "
+            f"{r.wall_min_s * 1e3:>10.2f} {r.wall_mean_s * 1e3:>10.2f} "
+            f"{r.events_per_sec:>12,.0f}"
+        )
+    return "\n".join(lines)

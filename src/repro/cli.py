@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
@@ -101,6 +102,7 @@ def _cmd_table2(args) -> int:
         client_counts=tuple(args.clients),
         requests_per_client=args.requests_per_client,
         seed=args.seed,
+        jobs=args.jobs,
     )
     _emit(ex.render_table2(rows), args.output)
     _export(rows, args)
@@ -109,7 +111,8 @@ def _cmd_table2(args) -> int:
 
 def _cmd_figure3(args) -> int:
     result = ex.run_figure3(
-        n_clients=args.clients, requests_per_client=args.requests_per_client
+        n_clients=args.clients, requests_per_client=args.requests_per_client,
+        jobs=args.jobs,
     )
     _emit(ex.render_figure3(result), args.output)
     return 0
@@ -117,7 +120,8 @@ def _cmd_figure3(args) -> int:
 
 def _cmd_figure4(args) -> int:
     rows = ex.run_figure4(
-        node_counts=tuple(args.nodes), scale=args.scale, seed=args.seed
+        node_counts=tuple(args.nodes), scale=args.scale, seed=args.seed,
+        jobs=args.jobs,
     )
     _emit(ex.render_figure4(rows), args.output)
     _export(rows, args)
@@ -139,13 +143,17 @@ def _cmd_table4(args) -> int:
 
 
 def _cmd_table5(args) -> int:
-    rows = ex.run_table5(node_counts=tuple(args.nodes), seed=args.seed)
+    rows = ex.run_table5(
+        node_counts=tuple(args.nodes), seed=args.seed, jobs=args.jobs
+    )
     _emit(ex.render_hit_ratio_table(rows, 2_000), args.output)
     return 0
 
 
 def _cmd_table6(args) -> int:
-    rows = ex.run_table6(node_counts=tuple(args.nodes), seed=args.seed)
+    rows = ex.run_table6(
+        node_counts=tuple(args.nodes), seed=args.seed, jobs=args.jobs
+    )
     _emit(ex.render_hit_ratio_table(rows, 20), args.output)
     return 0
 
@@ -343,18 +351,46 @@ def _cmd_describe_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # Imported lazily: the bench module pulls in the whole stack and the
+    # other subcommands should not pay for that at startup.
+    from . import bench as _bench
+
+    names = args.only or None
+    if names:
+        unknown = [n for n in names if n not in _bench.BENCH_WORKLOADS]
+        if unknown:
+            print(
+                "error: unknown benchmark(s): " + ", ".join(unknown)
+                + "; choose from " + ", ".join(_bench.BENCH_WORKLOADS),
+                file=sys.stderr,
+            )
+            return 2
+    results = _bench.run_bench(rounds=args.rounds, names=names)
+    print(_bench.render_bench(results))
+    out = Path(args.output) if args.output else Path(
+        f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+    )
+    report = _bench.write_bench_report(results, out)
+    print(f"\n(report written to {out}; peak RSS {report['peak_rss_kb']} kB)")
+    return 0
+
+
 def _cmd_all(args) -> int:
     outdir = Path(args.output_dir)
     outdir.mkdir(parents=True, exist_ok=True)
+    n_jobs = args.jobs
     jobs = [
         ("table1", lambda: ex.render_table1(ex.run_table1())),
-        ("table2", lambda: ex.render_table2(ex.run_table2())),
-        ("figure3", lambda: ex.render_figure3(ex.run_figure3())),
-        ("figure4", lambda: ex.render_figure4(ex.run_figure4())),
+        ("table2", lambda: ex.render_table2(ex.run_table2(jobs=n_jobs))),
+        ("figure3", lambda: ex.render_figure3(ex.run_figure3(jobs=n_jobs))),
+        ("figure4", lambda: ex.render_figure4(ex.run_figure4(jobs=n_jobs))),
         ("table3", lambda: ex.render_table3(ex.run_table3())),
         ("table4", lambda: ex.render_table4(ex.run_table4())),
-        ("table5", lambda: ex.render_hit_ratio_table(ex.run_table5(), 2_000)),
-        ("table6", lambda: ex.render_hit_ratio_table(ex.run_table6(), 20)),
+        ("table5", lambda: ex.render_hit_ratio_table(
+            ex.run_table5(jobs=n_jobs), 2_000)),
+        ("table6", lambda: ex.render_hit_ratio_table(
+            ex.run_table6(jobs=n_jobs), 20)),
     ]
     for name, job in jobs:
         text = job()
@@ -393,6 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--output", help="also write the table to this file")
         p.add_argument("--export", help="write structured rows (.csv/.json)")
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan independent runs over N worker processes (sweep "
+            "commands; results are identical to a serial run; falls back "
+            "to serial when --trace-out/--metrics-out is active)",
+        )
         observability(p)
 
     p = sub.add_parser("table1", help="ADL log caching-potential analysis")
@@ -507,8 +549,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="also write the summary to this file")
     p.set_defaults(func=_cmd_describe_trace)
 
+    p = sub.add_parser(
+        "bench",
+        help="time the engine microbenchmarks and write a BENCH_<date>.json",
+    )
+    p.add_argument(
+        "--rounds", type=int, default=5,
+        help="measured rounds per workload after one warmup (default 5)",
+    )
+    p.add_argument(
+        "--only", nargs="*", metavar="NAME",
+        help="subset of workloads to run (default: all)",
+    )
+    p.add_argument(
+        "--output", default=None,
+        help="report path (default BENCH_<date>.json in the current dir)",
+    )
+    p.set_defaults(func=_cmd_bench)
+
     p = sub.add_parser("all", help="regenerate every table and figure")
     p.add_argument("--output-dir", default="results")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep-style tables/figures",
+    )
     p.set_defaults(func=_cmd_all)
 
     return parser

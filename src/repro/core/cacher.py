@@ -266,6 +266,9 @@ class CacherModule:
 
     def lookup(self, url: str, span=None) -> Generator:
         """Process: directory lookup; returns a live entry or ``None``."""
+        if span is None or self.tracer is None:
+            result = yield from self.directory.lookup(url, self.sim.now)
+            return result
         child = self._span(span, "lookup", "cpu")
         try:
             result = yield from self.directory.lookup(url, self.sim.now)
@@ -284,6 +287,12 @@ class CacherModule:
         entry = self.store.get(url)
         if entry is None or entry.expired(self.sim.now):
             return None
+        if span is None or self.tracer is None:
+            if self.is_stale(entry):
+                self.stats.stale_hits += 1
+            yield from self.machine.serve_file(entry.file_path, mmap=True)
+            yield from self.record_hit(url)
+            return entry
         child = self._span(span, "fetch-local", "disk")
         try:
             if self.is_stale(entry):
@@ -358,11 +367,11 @@ class CacherModule:
     def execution_starting(self, url: str) -> bool:
         """Mark ``url`` as in progress; True if it already was (type-1
         false miss: an identical request arrived before the first finished)."""
-        duplicate = self._in_progress.get(url, 0) > 0
-        self._in_progress[url] = self._in_progress.get(url, 0) + 1
+        running = self._in_progress.get(url, 0)
+        self._in_progress[url] = running + 1
         if url not in self._in_progress_done:
             self._in_progress_done[url] = Event(self.sim)
-        return duplicate
+        return running > 0
 
     def execution_finished(self, url: str) -> None:
         remaining = self._in_progress.get(url, 0) - 1

@@ -20,6 +20,7 @@ from ..servers import EnterpriseServer, NcsaHttpd
 from ..sim import Simulator
 from ..workload import nullcgi_trace
 from .common import current_observer, run_single_server_fleet, warm_cluster
+from .parallel import fanout
 
 __all__ = ["Figure3Result", "run_figure3", "render_figure3"]
 
@@ -50,80 +51,119 @@ def _swala(mode):
     return factory
 
 
+def _figure3_cell(
+    which: str,
+    n_clients: int,
+    requests_per_client: int,
+    n_client_hosts: int,
+    costs: Optional[MachineCosts],
+):
+    """One of the five configurations; returns ``(mean, hits)`` where
+    ``hits`` is meaningful only for the two cached configurations.  Each
+    cell regenerates the (deterministic) null-CGI trace, so the five runs
+    are fully independent and can execute in separate processes."""
+    trace = nullcgi_trace(n_clients * requests_per_client)
+
+    if which == "enterprise":
+        times, _ = run_single_server_fleet(
+            lambda s, net, m: EnterpriseServer(s, m, net),
+            trace, n_clients, n_client_hosts, costs,
+        )
+        return times.mean, 0
+    if which == "httpd":
+        times, _ = run_single_server_fleet(
+            lambda s, net, m: NcsaHttpd(s, m, net),
+            trace, n_clients, n_client_hosts, costs,
+        )
+        return times.mean, 0
+    if which == "nocache":
+        times, _ = run_single_server_fleet(
+            _swala(CacheMode.NONE), trace, n_clients, n_client_hosts, costs
+        )
+        return times.mean, 0
+
+    observer = current_observer()
+    if which == "local":
+        # Local fetch: one node, cache warmed first (as in the paper) so
+        # every measured request is a local hit.
+        sim = Simulator()
+        local_cluster = SwalaCluster(
+            sim, 1, SwalaConfig(mode=CacheMode.STANDALONE), costs=costs,
+            name_prefix="local",
+        )
+        if observer is not None:
+            observer.attach(local_cluster)
+        local_cluster.start()
+        warm_cluster(local_cluster, nullcgi_trace(1), local_cluster.node_names[0])
+        local_fleet = ClientFleet(
+            sim,
+            local_cluster.network,
+            trace,
+            servers=local_cluster.node_names,
+            n_threads=n_clients,
+            n_hosts=n_client_hosts,
+        )
+        local = local_fleet.run()
+        local_srv = local_cluster.servers[0]
+        if observer is not None:
+            observer.collect(local_cluster)
+        return local.mean, local_srv.stats.local_hits
+
+    if which == "remote":
+        # Remote fetch: warm node 0, then send all load to node 1.
+        sim = Simulator()
+        cluster = SwalaCluster(
+            sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE), costs=costs
+        )
+        if observer is not None:
+            observer.attach(cluster)
+        cluster.start()
+        warm_cluster(cluster, nullcgi_trace(1), cluster.node_names[0])
+        fleet = ClientFleet(
+            sim,
+            cluster.network,
+            trace,
+            servers=[cluster.node_names[1]],
+            n_threads=n_clients,
+            n_hosts=n_client_hosts,
+        )
+        remote = fleet.run()
+        if observer is not None:
+            observer.collect(cluster)
+        return remote.mean, cluster.stats().remote_hits
+
+    raise ValueError(f"unknown figure3 configuration {which!r}")
+
+
 def run_figure3(
     n_clients: int = 24,
     requests_per_client: int = 20,
     n_client_hosts: int = 3,
     costs: Optional[MachineCosts] = None,
+    jobs: Optional[int] = None,
 ) -> Figure3Result:
-    n = n_clients * requests_per_client
-    trace = nullcgi_trace(n)
-
-    ent, _ = run_single_server_fleet(
-        lambda s, net, m: EnterpriseServer(s, m, net), trace, n_clients, n_client_hosts, costs
+    cells = [
+        dict(
+            which=which,
+            n_clients=n_clients,
+            requests_per_client=requests_per_client,
+            n_client_hosts=n_client_hosts,
+            costs=costs,
+        )
+        for which in ("enterprise", "httpd", "nocache", "local", "remote")
+    ]
+    (ent, _), (httpd, _), (nocache, _), (local, local_hits), (remote, remote_hits) = (
+        fanout(_figure3_cell, cells, jobs=jobs)
     )
-    httpd, _ = run_single_server_fleet(
-        lambda s, net, m: NcsaHttpd(s, m, net), trace, n_clients, n_client_hosts, costs
-    )
-    nocache, _ = run_single_server_fleet(
-        _swala(CacheMode.NONE), trace, n_clients, n_client_hosts, costs
-    )
-
-    # Local fetch: one node, cache warmed first (as in the paper) so every
-    # measured request is a local hit.
-    observer = current_observer()
-
-    sim = Simulator()
-    local_cluster = SwalaCluster(
-        sim, 1, SwalaConfig(mode=CacheMode.STANDALONE), costs=costs,
-        name_prefix="local",
-    )
-    if observer is not None:
-        observer.attach(local_cluster)
-    local_cluster.start()
-    warm_cluster(local_cluster, nullcgi_trace(1), local_cluster.node_names[0])
-    local_fleet = ClientFleet(
-        sim,
-        local_cluster.network,
-        trace,
-        servers=local_cluster.node_names,
-        n_threads=n_clients,
-        n_hosts=n_client_hosts,
-    )
-    local = local_fleet.run()
-    local_srv = local_cluster.servers[0]
-    if observer is not None:
-        observer.collect(local_cluster)
-
-    # Remote fetch: warm node 0, then send all load to node 1.
-    sim = Simulator()
-    cluster = SwalaCluster(
-        sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE), costs=costs
-    )
-    if observer is not None:
-        observer.attach(cluster)
-    cluster.start()
-    warm_cluster(cluster, nullcgi_trace(1), cluster.node_names[0])
-    fleet = ClientFleet(
-        sim,
-        cluster.network,
-        trace,
-        servers=[cluster.node_names[1]],
-        n_threads=n_clients,
-        n_hosts=n_client_hosts,
-    )
-    remote = fleet.run()
-    if observer is not None:
-        observer.collect(cluster)
 
     return Figure3Result(
-        enterprise=ent.mean,
-        httpd=httpd.mean,
-        swala_no_cache=nocache.mean,
-        swala_remote=remote.mean,
-        swala_local=local.mean,
-        remote_hits=cluster.stats().remote_hits,
-        local_hits=local_srv.stats.local_hits,
+        enterprise=ent,
+        httpd=httpd,
+        swala_no_cache=nocache,
+        swala_remote=remote,
+        swala_local=local,
+        remote_hits=remote_hits,
+        local_hits=local_hits,
     )
 
 

@@ -17,6 +17,7 @@ from ..hosts import MachineCosts
 from ..metrics import render_table, speedup
 from ..workload import AdlSpec, PAPER_ADL, Trace, generate_adl_trace
 from .common import run_cluster_trace
+from .parallel import fanout
 
 __all__ = ["Figure4Row", "run_figure4", "render_figure4", "figure4_workload"]
 
@@ -41,6 +42,35 @@ def figure4_workload(scale: float = 0.02, seed: int = 0) -> Trace:
     return generate_adl_trace(PAPER_ADL.scaled(scale), seed=seed).cgi_only()
 
 
+def _figure4_cell(
+    nodes: int,
+    scale: float,
+    seed: int,
+    threads_per_client: int,
+    n_client_hosts: int,
+    costs: Optional[MachineCosts],
+) -> Figure4Row:
+    """One node-count data point (independent of every other point, so the
+    sweep fans out over processes; the workload is regenerated from the
+    seed, which yields the identical trace in every worker)."""
+    trace = figure4_workload(scale, seed)
+    n_threads = threads_per_client * n_client_hosts
+    nocache, _ = run_cluster_trace(
+        nodes, CacheMode.NONE, trace, n_threads, n_client_hosts, costs=costs
+    )
+    coop, cluster = run_cluster_trace(
+        nodes, CacheMode.COOPERATIVE, trace, n_threads, n_client_hosts, costs=costs
+    )
+    stats = cluster.stats()
+    return Figure4Row(
+        nodes=nodes,
+        no_cache=nocache.mean,
+        coop_cache=coop.mean,
+        hits=stats.hits,
+        hit_ratio=stats.hit_ratio,
+    )
+
+
 def run_figure4(
     node_counts: Sequence[int] = (1, 2, 4, 6, 8),
     scale: float = 0.02,
@@ -48,28 +78,20 @@ def run_figure4(
     threads_per_client: int = 8,
     n_client_hosts: int = 2,
     costs: Optional[MachineCosts] = None,
+    jobs: Optional[int] = None,
 ) -> List[Figure4Row]:
-    trace = figure4_workload(scale, seed)
-    n_threads = threads_per_client * n_client_hosts
-    rows = []
-    for n in node_counts:
-        nocache, _ = run_cluster_trace(
-            n, CacheMode.NONE, trace, n_threads, n_client_hosts, costs=costs
+    cells = [
+        dict(
+            nodes=n,
+            scale=scale,
+            seed=seed,
+            threads_per_client=threads_per_client,
+            n_client_hosts=n_client_hosts,
+            costs=costs,
         )
-        coop, cluster = run_cluster_trace(
-            n, CacheMode.COOPERATIVE, trace, n_threads, n_client_hosts, costs=costs
-        )
-        stats = cluster.stats()
-        rows.append(
-            Figure4Row(
-                nodes=n,
-                no_cache=nocache.mean,
-                coop_cache=coop.mean,
-                hits=stats.hits,
-                hit_ratio=stats.hit_ratio,
-            )
-        )
-    return rows
+        for n in node_counts
+    ]
+    return fanout(_figure4_cell, cells, jobs=jobs)
 
 
 def render_figure4(rows: List[Figure4Row]) -> str:

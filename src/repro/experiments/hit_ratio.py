@@ -22,6 +22,7 @@ from ..hosts import MachineCosts
 from ..metrics import HitRatioSummary, hit_ratio_summary, render_table
 from ..workload import Trace, hit_ratio_trace
 from .common import run_cluster_trace
+from .parallel import fanout
 
 __all__ = [
     "HitRatioRow",
@@ -39,6 +40,36 @@ class HitRatioRow:
     cooperative: HitRatioSummary
 
 
+def _hit_ratio_cell(
+    nodes: int,
+    cache_size: int,
+    total: int,
+    unique: int,
+    seed: int,
+    policy: str,
+    n_threads: int,
+    costs: Optional[MachineCosts],
+) -> HitRatioRow:
+    """One node-count data point (stand-alone + cooperative pair).  The
+    trace is regenerated from the seed, so parallel workers replay the
+    identical request stream."""
+    trace = hit_ratio_trace(total=total, unique=unique, seed=seed)
+    config_kw = dict(cache_capacity=cache_size, policy=policy)
+    _, sa_cluster = run_cluster_trace(
+        nodes, CacheMode.STANDALONE, trace, n_threads, config_kw=config_kw,
+        costs=costs,
+    )
+    _, co_cluster = run_cluster_trace(
+        nodes, CacheMode.COOPERATIVE, trace, n_threads, config_kw=config_kw,
+        costs=costs,
+    )
+    return HitRatioRow(
+        nodes=nodes,
+        standalone=hit_ratio_summary(sa_cluster.stats(), trace, nodes),
+        cooperative=hit_ratio_summary(co_cluster.stats(), trace, nodes),
+    )
+
+
 def run_hit_ratio_experiment(
     cache_size: int,
     node_counts: Sequence[int] = (1, 2, 4, 6, 8),
@@ -48,27 +79,22 @@ def run_hit_ratio_experiment(
     policy: str = "lru",
     n_threads: int = 16,
     costs: Optional[MachineCosts] = None,
+    jobs: Optional[int] = None,
 ) -> List[HitRatioRow]:
-    trace = hit_ratio_trace(total=total, unique=unique, seed=seed)
-    rows = []
-    for n in node_counts:
-        config_kw = dict(cache_capacity=cache_size, policy=policy)
-        _, sa_cluster = run_cluster_trace(
-            n, CacheMode.STANDALONE, trace, n_threads, config_kw=config_kw,
+    cells = [
+        dict(
+            nodes=n,
+            cache_size=cache_size,
+            total=total,
+            unique=unique,
+            seed=seed,
+            policy=policy,
+            n_threads=n_threads,
             costs=costs,
         )
-        _, co_cluster = run_cluster_trace(
-            n, CacheMode.COOPERATIVE, trace, n_threads, config_kw=config_kw,
-            costs=costs,
-        )
-        rows.append(
-            HitRatioRow(
-                nodes=n,
-                standalone=hit_ratio_summary(sa_cluster.stats(), trace, n),
-                cooperative=hit_ratio_summary(co_cluster.stats(), trace, n),
-            )
-        )
-    return rows
+        for n in node_counts
+    ]
+    return fanout(_hit_ratio_cell, cells, jobs=jobs)
 
 
 def run_table5(**kw) -> List[HitRatioRow]:

@@ -1,0 +1,72 @@
+"""Fan independent experiment runs across a process pool.
+
+Every paper experiment is a sweep over independent simulation runs (node
+counts x cache modes x seeds), and each run is single-threaded and
+deterministic — so the sweep is embarrassingly parallel across
+*processes*.  :func:`fanout` is the one primitive the experiment modules
+use: it runs a module-level worker once per parameter cell and returns
+the results in cell order, so a parallel sweep renders the exact same
+table as a serial one.
+
+Two fallbacks keep correctness ahead of speed:
+
+* **observer-aware**: when a :class:`~repro.experiments.common.RunObserver`
+  is active (``--trace-out`` / ``--metrics-out``), runs stay serial and
+  in-process so the observer sees every cluster; worker processes could
+  not report spans back.
+* **degenerate sweeps**: one cell (or ``jobs <= 1``) runs inline with no
+  pool setup cost.
+
+Workers must be module-level callables (picklable) and must *regenerate*
+their workload from parameters (e.g. a seed) rather than close over
+shared state; trace synthesis is deterministic, so a regenerated trace is
+identical to a shared one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..obs import runtime
+
+__all__ = ["effective_jobs", "fanout"]
+
+
+def effective_jobs(jobs: Optional[int], n_cells: int) -> int:
+    """How many worker processes a sweep will actually use.
+
+    ``None``/``<=1`` mean serial; an active run observer forces serial
+    (tracing and metrics collection happen in-process).
+    """
+    if jobs is None or jobs <= 1 or n_cells <= 1:
+        return 1
+    if runtime.current_observer() is not None:
+        return 1
+    return min(jobs, n_cells)
+
+
+def _invoke(payload):
+    worker, kwargs = payload
+    return worker(**kwargs)
+
+
+def fanout(
+    worker: Callable[..., Any],
+    cells: Sequence[Dict[str, Any]],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run ``worker(**cell)`` for every cell; results in cell order.
+
+    With ``jobs`` > 1 (and no active observer) the cells are distributed
+    over a ``multiprocessing`` pool; ordering of the returned list is the
+    cell order either way, so downstream rendering is deterministic.
+    """
+    cells = list(cells)
+    n_workers = effective_jobs(jobs, len(cells))
+    if n_workers <= 1:
+        return [worker(**cell) for cell in cells]
+    from ..parallel import map_parallel
+
+    return map_parallel(
+        _invoke, [(worker, cell) for cell in cells], n_workers=n_workers
+    )

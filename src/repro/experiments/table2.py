@@ -15,6 +15,7 @@ from ..metrics import render_table
 from ..servers import EnterpriseServer, NcsaHttpd
 from ..workload import webstone_file_trace
 from .common import run_single_server_fleet
+from .parallel import fanout
 
 __all__ = ["Table2Row", "run_table2", "render_table2", "DEFAULT_CLIENT_COUNTS"]
 
@@ -40,26 +41,43 @@ def _swala_factory(sim, network, machine):
     )
 
 
+def _table2_cell(
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    costs: Optional[MachineCosts],
+) -> Table2Row:
+    """One client-count data point (three server models back to back)."""
+    trace = webstone_file_trace(clients * requests_per_client, seed=seed)
+    httpd, _ = run_single_server_fleet(
+        lambda s, net, m: NcsaHttpd(s, m, net), trace, clients, costs=costs
+    )
+    ent, _ = run_single_server_fleet(
+        lambda s, net, m: EnterpriseServer(s, m, net), trace, clients, costs=costs
+    )
+    swala, _ = run_single_server_fleet(_swala_factory, trace, clients, costs=costs)
+    return Table2Row(
+        clients=clients, httpd=httpd.mean, enterprise=ent.mean, swala=swala.mean
+    )
+
+
 def run_table2(
     client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
     requests_per_client: int = 30,
     seed: int = 0,
     costs: Optional[MachineCosts] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table2Row]:
-    rows = []
-    for n in client_counts:
-        trace = webstone_file_trace(n * requests_per_client, seed=seed)
-        httpd, _ = run_single_server_fleet(
-            lambda s, net, m: NcsaHttpd(s, m, net), trace, n, costs=costs
+    cells = [
+        dict(
+            clients=n,
+            requests_per_client=requests_per_client,
+            seed=seed,
+            costs=costs,
         )
-        ent, _ = run_single_server_fleet(
-            lambda s, net, m: EnterpriseServer(s, m, net), trace, n, costs=costs
-        )
-        swala, _ = run_single_server_fleet(_swala_factory, trace, n, costs=costs)
-        rows.append(
-            Table2Row(clients=n, httpd=httpd.mean, enterprise=ent.mean, swala=swala.mean)
-        )
-    return rows
+        for n in client_counts
+    ]
+    return fanout(_table2_cell, cells, jobs=jobs)
 
 
 def render_table2(rows: List[Table2Row]) -> str:

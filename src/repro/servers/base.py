@@ -130,8 +130,14 @@ class BaseServer:
                 self.machine.fs.create(request.url, request.response_size)
 
     # -- request-path building blocks ---------------------------------------
+    # Each block takes a bare fast path when no span is being recorded
+    # (``span is None`` whenever tracing is off): the try/finally frame and
+    # the ``_span`` call are pure overhead on the per-request hot path.
     def accept_cost(self, span=None) -> Generator:
         """Per-connection accept + parse CPU."""
+        if span is None:
+            yield self.machine.accept_and_parse()
+            return
         child = self._span(span, "accept", "cpu")
         try:
             yield self.machine.accept_and_parse()
@@ -140,6 +146,10 @@ class BaseServer:
 
     def serve_static(self, request: Request, span=None) -> Generator:
         """Open/read/prepare a static file for sending."""
+        if span is None:
+            yield from self.machine.serve_file(request.url, mmap=self.use_mmap)
+            self.stats.files_served += 1
+            return
         child = self._span(span, "read-file", "disk")
         try:
             yield from self.machine.serve_file(request.url, mmap=self.use_mmap)
@@ -149,6 +159,15 @@ class BaseServer:
 
     def execute_cgi(self, request: Request, span=None) -> Generator:
         """fork()+exec() the CGI and run its body on this machine's CPU."""
+        if span is None:
+            yield self.machine.compute(
+                self.machine.costs.cgi_fork_exec_cpu * self.cgi_overhead_factor
+            )
+            if request.cpu_time:
+                yield self.machine.compute(request.cpu_time)
+            self.stats.cgi_executed += 1
+            self.stats.exec_times.observe(request.cpu_time)
+            return
         child = self._span(span, "execute", "cpu")
         try:
             yield self.machine.compute(
@@ -175,6 +194,11 @@ class BaseServer:
 
     def send_cpu(self, request: Request, span=None) -> Generator:
         """TCP-stack CPU for pushing the response out."""
+        if span is None:
+            yield self.machine.send_bytes_cpu(
+                request.response_size + HTTP_RESPONSE_HEADER_BYTES
+            )
+            return
         child = self._span(span, "send", "cpu")
         try:
             yield self.machine.send_bytes_cpu(

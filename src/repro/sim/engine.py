@@ -12,8 +12,8 @@ seed produce identical event orderings.
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "Simulator",
@@ -99,11 +99,13 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, NORMAL)
+        sim = self.sim
+        _heappush(sim._queue, (sim._now, NORMAL, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -113,7 +115,7 @@ class Event:
         process waits, the failure propagates out of :meth:`Simulator.run`
         unless ``defused`` is set.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -124,7 +126,7 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger with the state of another (triggered) event."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = event._ok
         self._value = event._value
@@ -145,18 +147,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after its creation."""
+    """An event that fires ``delay`` time units after its creation.
+
+    A ``Timeout`` is born triggered (its value is pre-set), so its
+    constructor bypasses :meth:`Event.__init__` and schedules itself in one
+    shot — timeouts are the single most common event in every model, so this
+    fast path is worth the duplication.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        _heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._seq += 1
 
 
 class _ConditionValue:
@@ -184,20 +195,20 @@ class _ConditionValue:
 
 
 class Condition(Event):
-    """Waits for a boolean combination of events (base for AllOf/AnyOf)."""
+    """Waits for a boolean combination of events (base for AllOf/AnyOf).
 
-    __slots__ = ("_evaluate", "_events", "_count")
+    Subclasses express their predicate as ``_needed`` — the number of
+    constituent events that must happen — so the per-event check is a
+    single integer comparison instead of a callback into a closure.
+    """
 
-    def __init__(
-        self,
-        sim: "Simulator",
-        evaluate: Callable[[list, int], bool],
-        events: Iterable[Event],
-    ):
+    __slots__ = ("_events", "_count", "_needed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], needed: int):
         super().__init__(sim)
-        self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
+        self._needed = needed if needed >= 0 else len(self._events)
 
         for event in self._events:
             if event.sim is not sim:
@@ -205,24 +216,24 @@ class Condition(Event):
 
         # Immediately check already-processed events; subscribe to the rest.
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
         if not event._ok:
             event._defused = True
             self.fail(event._value)
-        elif self._evaluate(self._events, self._count):
+        elif self._count >= self._needed:
             # Only *processed* events count as "happened": Timeouts are
             # technically triggered from birth (their value is pre-set), so
             # ``triggered`` would wrongly include pending timeouts.
             value = _ConditionValue()
-            value.events = [e for e in self._events if e.processed]
+            value.events = [e for e in self._events if e.callbacks is None]
             self.succeed(value)
 
 
@@ -232,7 +243,7 @@ class AllOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, lambda events, count: count == len(events), events)
+        super().__init__(sim, events, -1)
 
 
 class AnyOf(Condition):
@@ -241,7 +252,7 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, lambda events, count: count >= 1, events)
+        super().__init__(sim, events, 1)
 
 
 class _Initialize(Event):
@@ -253,7 +264,7 @@ class _Initialize(Event):
         super().__init__(sim)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         sim._schedule(self, URGENT)
 
 
@@ -265,7 +276,7 @@ class Process(Event):
     the event's exception is thrown in).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -275,6 +286,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process currently waits on (None while running).
         self._target: Optional[Event] = None
+        #: Cached bound method: subscribing to a target happens once per
+        #: yield, and materializing ``self._resume`` fresh each time is a
+        #: per-event allocation.
+        self._resume_cb = self._resume
         _Initialize(sim, self)
 
     @property
@@ -295,27 +310,29 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim._schedule(event, URGENT)
 
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
 
         # If we are resumed by something other than the event we were
         # waiting on (an interrupt), detach from the old target so its later
         # firing does not resume this process a second time.
-        if self._target is not None and event is not self._target:
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        target = self._target
+        if target is not None and event is not target and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume_cb)
+            except ValueError:
+                pass
         self._target = None
 
+        generator = self._generator
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 except StopIteration as exc:
                     self._terminate(True, exc.value)
                     break
@@ -326,39 +343,35 @@ class Process(Event):
                 # Mark handled so it does not also propagate to run().
                 event._defused = True
                 try:
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
                 except StopIteration as exc:
                     self._terminate(True, exc.value)
                     break
                 except BaseException as exc:
-                    if exc is event._value:
-                        # The process chose not to handle the failure.
-                        self._terminate(False, exc)
-                        break
+                    # Whether the process re-raised the failure unchanged or
+                    # raised something new, it did not survive it.
                     self._terminate(False, exc)
                     break
 
-            if not isinstance(target, Event):
+            if isinstance(target, Event):
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    callbacks.append(self._resume_cb)
+                    self._target = target
+                    break
+                # Already processed: loop and resume immediately with its
+                # value.
+                event = target
+            else:
                 exc = RuntimeError(
                     f"process {self.name!r} yielded non-event {target!r}"
                 )
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 event._defused = True
-                continue
 
-            if target.processed:
-                # Already done: loop and resume immediately with its value.
-                event = target
-                continue
-
-            if target.callbacks is not None:
-                target.callbacks.append(self._resume)
-                self._target = target
-                break
-
-        self.sim._active_process = None
+        sim._active_process = None
 
     def _terminate(self, ok: bool, value: Any) -> None:
         self._target = None
@@ -376,8 +389,16 @@ class Process(Event):
         return f"<Process {self.name!r} {state}>"
 
 
+def _stop_simulation(event: Event) -> None:
+    """Shared ``run(until=...)`` stop callback (one function, not a fresh
+    closure pair per call)."""
+    raise StopSimulation(event)
+
+
 class Simulator:
     """The event loop: a priority queue of ``(time, prio, seq, event)``."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_ticks", "_active_process", "step_hooks")
 
     def __init__(self):
         self._now: float = 0.0
@@ -417,7 +438,22 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Build the timeout inline rather than via Timeout(...): this factory
+        # runs once per simulated event, and skipping the constructor frame
+        # is a measurable share of total dispatch cost.  Mirrors
+        # Timeout.__init__ exactly.
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.sim = self
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._defused = False
+        timeout.delay = delay
+        _heappush(self._queue, (self._now + delay, NORMAL, self._seq, timeout))
+        self._seq += 1
+        return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -430,7 +466,7 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
+        _heappush(
             self._queue, (self._now + delay, priority, self._seq, event)
         )
         self._seq += 1
@@ -441,18 +477,19 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise StopSimulation("no scheduled events") from None
+        queue = self._queue
+        if not queue:
+            raise StopSimulation("no scheduled events")
+        self._now, _, _, event = _heappop(queue)
 
         self._ticks += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
 
-        for hook in self.step_hooks:
-            hook(self._now, event)
+        if self.step_hooks:
+            for hook in self.step_hooks:
+                hook(self._now, event)
 
         if not event._ok and not event._defused:
             # Nobody handled the failure: crash the simulation.
@@ -462,17 +499,17 @@ class Simulator:
         """Run until the queue drains, time ``until``, or event ``until``.
 
         If ``until`` is an :class:`Event`, returns its value when processed.
+        Returns ``None`` for a time-based stop, a drained queue, or a
+        :class:`StopSimulation` raised by a process (explicit teardown) —
+        the latter is recognized by identity, so a process stopping the
+        simulation is never mistaken for ``until`` being reached.
         """
-        stop_value = None
+        target_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
                 if until.processed:
                     return until.value
-
-                def _stop(event: Event) -> None:
-                    raise StopSimulation(event)
-
-                until.callbacks.append(_stop)
+                until.callbacks.append(_stop_simulation)
                 target_event = until
             else:
                 at = float(until)
@@ -483,29 +520,43 @@ class Simulator:
                 target_event = Event(self)
                 target_event._ok = True
                 target_event._value = None
-                heapq.heappush(self._queue, (at, URGENT, self._seq, target_event))
+                target_event.callbacks.append(_stop_simulation)
+                _heappush(self._queue, (at, URGENT, self._seq, target_event))
                 self._seq += 1
 
-                def _stop_at(event: Event) -> None:
-                    raise StopSimulation(event)
-
-                target_event.callbacks.append(_stop_at)
-
+        # The step() loop, inlined with local bindings: this is the hottest
+        # loop in the whole reproduction.  Must stay behaviorally identical
+        # to step() — same (time, priority, sequence) pop order, same
+        # callback/hook/failure sequence.
+        queue = self._queue
+        pop = _heappop
+        hooks = self.step_hooks
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                self._now, _, _, event = pop(queue)
+                self._ticks += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if hooks:
+                    for hook in hooks:
+                        hook(self._now, event)
+                if not event._ok and not event._defused:
+                    # Nobody handled the failure: crash the simulation.
+                    raise event._value
         except StopSimulation as exc:
             stopper = exc.args[0] if exc.args else None
-            if isinstance(stopper, Event):
-                if stopper is until:
-                    if not stopper._ok:
-                        raise stopper._value
-                    return stopper._value
-                # time-based stop
+            if stopper is not target_event or target_event is None:
+                # Raised by a process, not by our stop callback.
                 return None
+            if target_event is until:
+                if not stopper._ok:
+                    raise stopper._value
+                return stopper._value
+            # Time-based stop.
             return None
-        if until is not None and isinstance(until, Event) and not until.triggered:
+        if target_event is until and until is not None and not until.triggered:
             raise RuntimeError(
                 f"simulation ended with no scheduled events before {until!r} triggered"
             )
-        return stop_value
+        return None

@@ -175,6 +175,11 @@ class ProcessorSharing:
         self._next_id = 0
         self._last_advance = sim.now
         self._version = 0
+        #: Sticky flag: True while every job ever submitted had weight 1.0.
+        #: Unit weights are the overwhelmingly common case and admit a
+        #: cheaper advance/reschedule (multiplying by 1.0 is a float no-op,
+        #: so the fast path is bit-identical to the general one).
+        self._unit_weights = True
         self.busy_time = 0.0  # integral of utilised CPU-seconds
         self.total_demand_served = 0.0
 
@@ -207,6 +212,8 @@ class ProcessorSharing:
             done.succeed(0.0)
             return done
         self._advance()
+        if weight != 1.0:
+            self._unit_weights = False
         job = Job(demand, done, self.sim.now, weight)
         self._jobs[self._next_id] = job
         self._next_id += 1
@@ -224,38 +231,79 @@ class ProcessorSharing:
         return min(1.0, self.ncpus / total_weight) * job.weight
 
     def _advance(self) -> None:
-        """Progress all running jobs up to ``sim.now``."""
+        """Progress all running jobs up to ``sim.now``.
+
+        The shared-rate factor ``min(1, ncpus / W)`` is identical for every
+        job at a given instant, so it is hoisted out of the loop; with unit
+        weights the per-job rate equals the factor itself (``x * 1.0 == x``
+        exactly), so the whole per-job quantum is hoisted too.  Both paths
+        perform bit-identical float operations to the naive per-job formula.
+        """
         now = self.sim.now
         dt = now - self._last_advance
         self._last_advance = now
-        if dt <= 0 or not self._jobs:
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
             return
-        total_weight = self._total_weight()
         served = 0.0
-        finished = []
-        for jid, job in self._jobs.items():
-            progress = dt * self._rate(job, total_weight)
-            progress = min(progress, job.remaining)
-            job.remaining -= progress
-            served += progress
-            if job.remaining <= _EPS:
-                finished.append(jid)
+        finished = None
+        if self._unit_weights:
+            factor = min(1.0, self.ncpus / float(len(jobs)))
+            quantum = dt * factor
+            for jid, job in jobs.items():
+                progress = quantum if quantum <= job.remaining else job.remaining
+                job.remaining -= progress
+                served += progress
+                if job.remaining <= _EPS:
+                    if finished is None:
+                        finished = [jid]
+                    else:
+                        finished.append(jid)
+        else:
+            total_weight = self._total_weight()
+            factor = min(1.0, self.ncpus / total_weight)
+            for jid, job in jobs.items():
+                progress = dt * (factor * job.weight)
+                if progress > job.remaining:
+                    progress = job.remaining
+                job.remaining -= progress
+                served += progress
+                if job.remaining <= _EPS:
+                    if finished is None:
+                        finished = [jid]
+                    else:
+                        finished.append(jid)
         self.busy_time += served
         self.total_demand_served += served
-        for jid in finished:
-            job = self._jobs.pop(jid)
-            job.done.succeed(now - job.start_time)
+        if finished is not None:
+            for jid in finished:
+                job = jobs.pop(jid)
+                job.done.succeed(now - job.start_time)
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the earliest projected completion."""
         self._version += 1
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
-        total_weight = self._total_weight()
-        next_completion = min(
-            job.remaining / self._rate(job, total_weight)
-            for job in self._jobs.values()
-        )
+        if self._unit_weights:
+            # rate == factor for every job, and x / factor is monotone in x,
+            # so the earliest completion belongs to the smallest remaining —
+            # one comparison pass plus a single division.
+            factor = min(1.0, self.ncpus / float(len(jobs)))
+            least = None
+            for job in jobs.values():
+                if least is None or job.remaining < least:
+                    least = job.remaining
+            next_completion = least / factor
+        else:
+            total_weight = self._total_weight()
+            factor = min(1.0, self.ncpus / total_weight)
+            next_completion = None
+            for job in jobs.values():
+                eta = job.remaining / (factor * job.weight)
+                if next_completion is None or eta < next_completion:
+                    next_completion = eta
         version = self._version
         timeout = self.sim.timeout(next_completion)
         timeout.callbacks.append(lambda _evt: self._on_wakeup(version))

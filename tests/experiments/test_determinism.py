@@ -1,0 +1,99 @@
+"""Determinism guarantees the perf work must not erode.
+
+Two independent contracts are pinned here:
+
+1. Same seed ⇒ identical results.  Running an experiment twice in the
+   same process (fresh ``Simulator`` each time) must produce equal stats
+   and, with tracing enabled, byte-identical span dumps.  This is the
+   ``(time, priority, sequence)`` heap-ordering contract: any engine
+   "optimization" that reorders same-timestamp events breaks it.
+
+2. Serial ≡ parallel.  ``--jobs N`` fans cells over worker processes;
+   because every cell regenerates its workload from the seed, the fanout
+   must return exactly what a serial run returns, in the same order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure3, run_figure4, run_table2
+from repro.experiments.common import RunObserver, observe_runs
+from repro.experiments.parallel import effective_jobs, fanout
+from repro.obs import TraceCollector
+
+FIG3_KW = dict(n_clients=4, requests_per_client=3)
+FIG4_KW = dict(node_counts=(1, 2), scale=0.005)
+
+
+def _traced_figure3(path, jobs=None):
+    observer = RunObserver(tracer=TraceCollector())
+    with observe_runs(observer):
+        run_figure3(**FIG3_KW, jobs=jobs)
+    observer.collect_all()
+    observer.tracer.write_jsonl(path)
+    return path.read_bytes()
+
+
+def test_same_seed_identical_stats():
+    a = run_figure4(**FIG4_KW)
+    b = run_figure4(**FIG4_KW)
+    assert a == b  # frozen dataclasses: field-for-field equality
+
+
+def test_same_seed_byte_identical_trace(tmp_path):
+    dumps = [
+        _traced_figure3(tmp_path / f"spans{i}.jsonl") for i in range(2)
+    ]
+    assert dumps[0] == dumps[1]
+    # sanity: the trace actually recorded spans
+    assert len(dumps[0].splitlines()) > 10
+
+
+def test_serial_matches_parallel_figure4():
+    serial = run_figure4(**FIG4_KW)
+    parallel = run_figure4(**FIG4_KW, jobs=2)
+    assert serial == parallel
+
+
+def test_serial_matches_parallel_figure3():
+    assert run_figure3(**FIG3_KW) == run_figure3(**FIG3_KW, jobs=2)
+
+
+def test_serial_matches_parallel_table2():
+    kw = dict(client_counts=(2, 4), requests_per_client=4)
+    assert run_table2(**kw) == run_table2(**kw, jobs=2)
+
+
+def test_tracing_forces_serial():
+    """An active observer must pin fanout to one process: spans cannot
+    cross a process boundary, so silently dropping them in workers would
+    make ``--jobs`` change observable output."""
+    with observe_runs(RunObserver(tracer=TraceCollector())):
+        assert effective_jobs(4, 10) == 1
+    assert effective_jobs(4, 10) == 4
+
+
+def test_effective_jobs_clamps():
+    assert effective_jobs(None, 10) == 1
+    assert effective_jobs(1, 10) == 1
+    assert effective_jobs(8, 3) == 3
+    assert effective_jobs(2, 1) == 1
+    assert effective_jobs(0, 10) == 1
+    assert effective_jobs(-2, 10) == 1
+
+
+def _square(x):
+    return x * x
+
+
+def test_fanout_preserves_cell_order():
+    cells = [dict(x=i) for i in range(7)]
+    assert fanout(_square, cells, jobs=3) == [i * i for i in range(7)]
+    assert fanout(_square, cells, jobs=None) == [i * i for i in range(7)]
+
+
+def test_traced_run_identical_under_jobs_flag(tmp_path):
+    """--jobs plus tracing produces a byte-identical span file to the
+    serial run (because tracing forces serial)."""
+    serial = _traced_figure3(tmp_path / "serial.jsonl")
+    jobs = _traced_figure3(tmp_path / "jobs.jsonl", jobs=4)
+    assert serial == jobs

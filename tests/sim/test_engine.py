@@ -388,3 +388,58 @@ class TestStepAndPeek:
     def test_step_on_empty_queue_raises(self, sim):
         with pytest.raises(StopSimulation):
             sim.step()
+
+
+class TestRunUntilStopInteraction:
+    """run(until=...) must distinguish its own stop sentinel from a
+    StopSimulation raised by a process (regression: these used to be
+    conflated, so a process tearing the simulation down mid-run could be
+    misreported as the until-target having fired)."""
+
+    def test_process_raised_stop_beats_time_limit(self, sim):
+        def stopper():
+            yield sim.timeout(3)
+            raise StopSimulation("teardown")
+
+        def straggler():
+            yield sim.timeout(50)
+
+        sim.process(stopper())
+        sim.process(straggler())
+        assert sim.run(until=100) is None
+        assert sim.now == 3
+
+    def test_process_raised_stop_with_until_event(self, sim):
+        target = sim.timeout(100, value="reached")
+
+        def stopper():
+            yield sim.timeout(3)
+            raise StopSimulation("teardown")
+
+        sim.process(stopper())
+        assert sim.run(until=target) is None
+        assert sim.now == 3
+
+    def test_time_stop_returns_none_with_work_pending(self, sim):
+        def proc():
+            yield sim.timeout(10)
+
+        sim.process(proc())
+        assert sim.run(until=4) is None
+        assert sim.now == 4
+        assert sim.peek() == 10
+
+    def test_until_event_returns_its_value(self, sim):
+        target = sim.timeout(5, value="done")
+        assert sim.run(until=target) == "done"
+        assert sim.now == 5
+
+    def test_repeated_run_until_times(self, sim):
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1)
+
+        sim.process(proc())
+        for at in (2.5, 5.0, 7.5):
+            assert sim.run(until=at) is None
+            assert sim.now == at
