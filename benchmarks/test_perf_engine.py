@@ -13,10 +13,15 @@ of events it dispatched.
 """
 
 from repro.bench import (
+    bench_broadcast_storm,
+    bench_broadcast_storm_unicast,
     bench_cache_store,
     bench_event_dispatch,
+    bench_eviction_sweep,
+    bench_eviction_sweep_scan,
     bench_full_request_path,
     bench_processor_sharing,
+    bench_stack_distances,
 )
 
 
@@ -40,15 +45,26 @@ def test_perf_full_request_path(benchmark):
     assert benchmark(bench_full_request_path) > 0
 
 
-def _locality_analysis(n_requests: int) -> int:
-    from repro.workload import zipf_cgi_trace
-    from repro.workload.locality import stack_distances
-
-    trace = zipf_cgi_trace(n_requests, 400, seed=0)
-    return sum(1 for d in stack_distances(trace) if d is not None)
-
-
 def test_perf_stack_distances(benchmark):
     """O(n log n) LRU stack-distance analysis throughput."""
-    repeats = benchmark(_locality_analysis, 8_000)
-    assert repeats > 0
+    assert benchmark(bench_stack_distances) == 8_000
+
+
+def test_perf_eviction_sweep(benchmark):
+    """Insert-dominated churn through the heap-indexed LFU/SIZE/COST/FIFO."""
+    assert benchmark(bench_eviction_sweep) == 8_000
+
+
+def test_perf_eviction_sweep_scan(benchmark):
+    """Same churn through the O(n) scan references (the A/B baseline)."""
+    assert benchmark(bench_eviction_sweep_scan) == 8_000
+
+
+def test_perf_broadcast_storm(benchmark):
+    """12-node directory-update storm through the flattened broadcast."""
+    assert benchmark(bench_broadcast_storm) > 0
+
+
+def test_perf_broadcast_storm_unicast(benchmark):
+    """Same storm through the replicated-unicast reference (A/B baseline)."""
+    assert benchmark(bench_broadcast_storm_unicast) > 0

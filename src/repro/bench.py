@@ -30,8 +30,10 @@ from .cache import CacheEntry, CacheStore
 from .clients import ClientFleet
 from .core import CacheMode, SwalaCluster, SwalaConfig
 from .hosts import Machine
+from .net import LAN_100MBIT, Network
 from .sim import ProcessorSharing, Simulator
 from .workload import zipf_cgi_trace
+from .workload.locality import stack_distances
 
 __all__ = [
     "BenchResult",
@@ -40,8 +42,14 @@ __all__ = [
     "bench_processor_sharing",
     "bench_cache_store",
     "bench_full_request_path",
+    "bench_eviction_sweep",
+    "bench_eviction_sweep_scan",
+    "bench_stack_distances",
+    "bench_broadcast_storm",
+    "bench_broadcast_storm_unicast",
     "run_bench",
     "write_bench_report",
+    "compare_with_snapshot",
 ]
 
 
@@ -114,12 +122,108 @@ def bench_full_request_path(n_requests: int = 400) -> int:
     return sim.ticks
 
 
+def _eviction_churn(policy: str, n_ops: int, capacity: int) -> int:
+    """Insert-dominated churn: most ops evict, so victim selection is the
+    bottleneck (O(log n) with the heap index, O(capacity) with a scan)."""
+    fs = Machine(Simulator(), "m").fs
+    store = CacheStore(fs, capacity=capacity, policy=policy)
+    span = capacity * 4  # url space >> capacity: inserts keep missing
+    for i in range(n_ops):
+        url = f"/e{(i * 7919) % span}"
+        if url in store:
+            store.record_access(url, float(i))
+        else:
+            store.insert(
+                CacheEntry(url=url, owner="m", size=100 + i % 900,
+                           exec_time=0.05 + (i % 40) / 100.0,
+                           created=float(i)),
+                float(i),
+            )
+    assert len(store) == capacity
+    return n_ops
+
+
+_EVICTION_POLICIES = ("lfu", "size", "cost", "fifo")
+
+
+def bench_eviction_sweep(n_ops: int = 2_000, capacity: int = 512) -> int:
+    """Eviction-heavy churn across the four heap-indexed policies."""
+    return sum(_eviction_churn(p, n_ops, capacity) for p in _EVICTION_POLICIES)
+
+
+def bench_eviction_sweep_scan(n_ops: int = 2_000, capacity: int = 512) -> int:
+    """A/B twin of :func:`bench_eviction_sweep` on the O(n) scan
+    references — the pre-index implementation, kept runnable so the
+    speedup stays measurable on the current machine."""
+    return sum(
+        _eviction_churn(p + "-scan", n_ops, capacity)
+        for p in _EVICTION_POLICIES
+    )
+
+
+def bench_stack_distances(n_requests: int = 8_000) -> int:
+    """O(n log n) LRU stack-distance analysis over a zipf CGI trace."""
+    trace = zipf_cgi_trace(n_requests, 400, seed=0)
+    repeats = sum(1 for d in stack_distances(trace) if d is not None)
+    assert repeats > 0
+    return n_requests
+
+
+def _broadcast_storm(flatten: bool, n_nodes: int = 12, n_updates: int = 150) -> int:
+    """N-node directory-update storm: every node takes turns broadcasting
+    a 128-byte update to its N-1 peers, back to back."""
+    sim = Simulator()
+    net = Network(sim, latency=0.0001, bandwidth=LAN_100MBIT)
+    hosts = [f"n{i}" for i in range(n_nodes)]
+    boxes = {h: net.register(h, "update") for h in hosts}
+    received = [0]
+
+    def drain(box):
+        while True:
+            yield box.get()
+            received[0] += 1
+
+    for h in hosts:
+        sim.process(drain(boxes[h]))
+
+    def driver():
+        for k in range(n_updates):
+            src = hosts[k % n_nodes]
+            dsts = [h for h in hosts if h != src]
+            if flatten:
+                net.broadcast(src, dsts, "update", payload=k, size=128)
+            else:
+                net.broadcast_unicast(src, dsts, "update", payload=k, size=128)
+            yield sim.timeout(0.001)
+
+    sim.process(driver())
+    sim.run()
+    assert received[0] == n_updates * (n_nodes - 1)
+    return received[0]
+
+
+def bench_broadcast_storm() -> int:
+    """Broadcast storm through the flattened single-process fan-out."""
+    return _broadcast_storm(flatten=True)
+
+
+def bench_broadcast_storm_unicast() -> int:
+    """A/B twin on the replicated-unicast reference (one transmit process
+    per destination — the pre-flattening implementation)."""
+    return _broadcast_storm(flatten=False)
+
+
 #: name -> zero-argument workload callable returning an event count.
 BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "event_dispatch": bench_event_dispatch,
     "processor_sharing": bench_processor_sharing,
     "cache_store": bench_cache_store,
     "full_request_path": bench_full_request_path,
+    "eviction_sweep": bench_eviction_sweep,
+    "eviction_sweep_scan": bench_eviction_sweep_scan,
+    "stack_distances": bench_stack_distances,
+    "broadcast_storm": bench_broadcast_storm,
+    "broadcast_storm_unicast": bench_broadcast_storm_unicast,
 }
 
 
@@ -199,6 +303,50 @@ def write_bench_report(
         report["reference"] = reference
     path.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def compare_with_snapshot(
+    results: List[BenchResult],
+    snapshot: dict,
+    threshold: float = 0.25,
+) -> Tuple[str, List[str]]:
+    """Compare a fresh run against a committed ``BENCH_*.json`` snapshot.
+
+    Returns ``(report_text, regressed_names)``: a workload regresses when
+    its fresh events/sec falls more than ``threshold`` (fraction) below
+    the snapshot's.  Workloads present on only one side are reported but
+    never counted as regressions (new benchmarks must be addable without
+    breaking the gate).
+    """
+    committed = {r["name"]: r for r in snapshot.get("results", [])}
+    lines = [
+        f"{'benchmark':<24} {'committed ev/s':>14} {'fresh ev/s':>12} "
+        f"{'ratio':>7}  status"
+    ]
+    regressed: List[str] = []
+    fresh_names = set()
+    for r in results:
+        fresh_names.add(r.name)
+        base = committed.get(r.name)
+        if base is None:
+            lines.append(f"{r.name:<24} {'-':>14} {r.events_per_sec:>12,.0f} "
+                         f"{'-':>7}  new (no baseline)")
+            continue
+        base_eps = base["events_per_sec"]
+        ratio = r.events_per_sec / base_eps if base_eps > 0 else float("inf")
+        if ratio < 1.0 - threshold:
+            status = f"REGRESSED (> {threshold:.0%} below snapshot)"
+            regressed.append(r.name)
+        else:
+            status = "ok"
+        lines.append(
+            f"{r.name:<24} {base_eps:>14,.0f} {r.events_per_sec:>12,.0f} "
+            f"{ratio:>7.2f}  {status}"
+        )
+    for name in sorted(set(committed) - fresh_names):
+        lines.append(f"{name:<24} {committed[name]['events_per_sec']:>14,.0f} "
+                     f"{'-':>12} {'-':>7}  not run")
+    return "\n".join(lines), regressed
 
 
 def render_bench(results: List[BenchResult]) -> str:

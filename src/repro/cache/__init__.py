@@ -3,6 +3,7 @@
 from .entry import CacheEntry
 from .policies import (
     POLICY_NAMES,
+    SCAN_POLICY_NAMES,
     CostPolicy,
     FIFOPolicy,
     GreedyDualSizePolicy,
@@ -26,4 +27,5 @@ __all__ = [
     "FIFOPolicy",
     "make_policy",
     "POLICY_NAMES",
+    "SCAN_POLICY_NAMES",
 ]

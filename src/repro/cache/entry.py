@@ -3,19 +3,21 @@
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["CacheEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """Meta-data for one cached CGI result.
 
     The result body itself lives in a per-entry file on the owner node's
     filesystem (``file_path``); only this record is replicated into peer
-    directories.
+    directories.  Slotted: entries are minted on every insert, replica,
+    and directory update, so instance dicts are measurable overhead.
     """
 
     url: str
@@ -35,6 +37,11 @@ class CacheEntry:
             raise ValueError(f"negative exec time for {self.url!r}")
         if self.ttl <= 0:
             raise ValueError(f"TTL must be positive for {self.url!r}")
+        # Intern the URL: entries for the same URL are created over and
+        # over (inserts, replicas, directory updates), and every store /
+        # directory / policy structure keys on it.  Interned keys make
+        # those dict hits pointer comparisons.
+        self.url = sys.intern(self.url)
         if not self.file_path:
             self.file_path = f"/cache/{abs(hash(self.url)) :x}-{self.owner}"
         if self.last_access == -math.inf:

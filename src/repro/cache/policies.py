@@ -16,6 +16,13 @@ cost-aware algorithm the paper cites as related work ([5]):
 
 All policies expose the same three hooks so the store can drive them
 uniformly; ties break on the URL for determinism.
+
+LFU/SIZE/COST/FIFO are backed by a lazy-invalidation heap index
+(:class:`_HeapPolicy`): victim selection is O(log n) and access
+bookkeeping O(1) amortized.  The straight O(n) scan implementations are
+retained (``make_policy("<name>-scan")``) as the differential-testing
+reference — a heap policy must pick byte-identical victims to its scan
+twin over any operation sequence.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
     "FIFOPolicy",
     "make_policy",
     "POLICY_NAMES",
+    "SCAN_POLICY_NAMES",
 ]
 
 
@@ -73,8 +81,9 @@ class LRUPolicy(ReplacementPolicy):
         self._order: "OrderedDict[str, CacheEntry]" = OrderedDict()
 
     def on_insert(self, entry: CacheEntry, now: float) -> None:
+        # The store removes before re-inserting, so this is always a fresh
+        # key — and a fresh OrderedDict insert already lands at the end.
         self._order[entry.url] = entry
-        self._order.move_to_end(entry.url)
 
     def on_access(self, entry: CacheEntry, now: float) -> None:
         self._order.move_to_end(entry.url)
@@ -93,9 +102,10 @@ class LRUPolicy(ReplacementPolicy):
 class _ScanPolicy(ReplacementPolicy):
     """Base for policies that pick the minimum of a key over all entries.
 
-    O(n) victim selection; Swala's caches are directory-limited (hundreds
-    to low thousands of entries), so a scan is simpler than maintaining an
-    index and plenty fast.
+    O(n) victim selection.  Kept as the executable specification for the
+    heap-indexed policies below: the property suite drives a heap policy
+    and its scan twin with identical operation sequences and asserts they
+    evict identical victims.
     """
 
     def __init__(self):
@@ -120,40 +130,147 @@ class _ScanPolicy(ReplacementPolicy):
         return len(self._entries)
 
 
-class LFUPolicy(_ScanPolicy):
-    """Evict the entry with the fewest accesses (recency breaks ties)."""
+class _HeapPolicy(ReplacementPolicy):
+    """Min-of-a-key policy backed by a lazy-invalidation heap.
 
-    name = "lfu"
+    The heap holds ``(key, url)`` pairs; ``_current`` maps each tracked
+    URL to its *latest* pushed key.  A heap item whose key no longer
+    matches ``_current`` is stale and skipped (popped) during victim
+    selection.  Because the entry fields a key reads (``access_count``,
+    ``last_access``) only mutate immediately before an ``on_access``
+    notification, ``_current`` always reflects live field values, and the
+    heap minimum over non-stale items equals the scan minimum of
+    ``(key(e), e.url)`` — identical victims, identical tie-breaking.
+
+    The heap is compacted (rebuilt from ``_current``) once stale items
+    dominate, bounding it at O(live entries).
+    """
+
+    #: Entry fields changed by ``on_access`` feed the key, so each access
+    #: pushes a fresh item.  Subclasses with immutable keys override.
+    _key_mutates_on_access = True
+
+    def __init__(self):
+        self._entries: Dict[str, CacheEntry] = {}
+        self._current: Dict[str, tuple] = {}
+        self._heap: list = []  # (key, url); stale items skipped lazily
+
+    def _key(self, entry: CacheEntry):
+        raise NotImplementedError
+
+    def _push(self, entry: CacheEntry) -> None:
+        key = self._key(entry)
+        self._current[entry.url] = key
+        heapq.heappush(self._heap, (key, entry.url))
+        if len(self._heap) > 2 * len(self._entries) + 64:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [(key, url) for url, key in self._current.items()]
+        heapq.heapify(self._heap)
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._entries[entry.url] = entry
+        self._push(entry)
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        if self._key_mutates_on_access and entry.url in self._entries:
+            self._push(entry)
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._entries.pop(entry.url, None)
+        self._current.pop(entry.url, None)
+
+    def victim(self) -> CacheEntry:
+        heap = self._heap
+        current = self._current
+        while heap:
+            key, url = heap[0]
+            live = current.get(url)
+            if live is None or live != key:
+                heapq.heappop(heap)  # stale
+                continue
+            return self._entries[url]
+        raise LookupError(f"empty {self.name} policy")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _LFUKey:
+    _key_mutates_on_access = True
 
     def _key(self, entry: CacheEntry):
         return (entry.access_count, entry.last_access)
 
 
-class SizePolicy(_ScanPolicy):
-    """Evict the largest entry first (negated size as the minimum key)."""
-
-    name = "size"
+class _SizeKey:
+    _key_mutates_on_access = True
 
     def _key(self, entry: CacheEntry):
         return (-entry.size, entry.last_access)
 
 
-class CostPolicy(_ScanPolicy):
-    """Evict the entry that is cheapest to re-execute."""
-
-    name = "cost"
+class _CostKey:
+    _key_mutates_on_access = True
 
     def _key(self, entry: CacheEntry):
         return (entry.exec_time, entry.last_access)
 
 
-class FIFOPolicy(_ScanPolicy):
+class _FIFOKey:
+    _key_mutates_on_access = False  # insertion time never changes
+
+    def _key(self, entry: CacheEntry):
+        return entry.created
+
+
+class LFUPolicy(_LFUKey, _HeapPolicy):
+    """Evict the entry with the fewest accesses (recency breaks ties)."""
+
+    name = "lfu"
+
+
+class SizePolicy(_SizeKey, _HeapPolicy):
+    """Evict the largest entry first (negated size as the minimum key)."""
+
+    name = "size"
+
+
+class CostPolicy(_CostKey, _HeapPolicy):
+    """Evict the entry that is cheapest to re-execute."""
+
+    name = "cost"
+
+
+class FIFOPolicy(_FIFOKey, _HeapPolicy):
     """Evict the oldest insertion."""
 
     name = "fifo"
 
-    def _key(self, entry: CacheEntry):
-        return entry.created
+
+class ScanLFUPolicy(_LFUKey, _ScanPolicy):
+    """O(n) reference for :class:`LFUPolicy`."""
+
+    name = "lfu-scan"
+
+
+class ScanSizePolicy(_SizeKey, _ScanPolicy):
+    """O(n) reference for :class:`SizePolicy`."""
+
+    name = "size-scan"
+
+
+class ScanCostPolicy(_CostKey, _ScanPolicy):
+    """O(n) reference for :class:`CostPolicy`."""
+
+    name = "cost-scan"
+
+
+class ScanFIFOPolicy(_FIFOKey, _ScanPolicy):
+    """O(n) reference for :class:`FIFOPolicy`."""
+
+    name = "fifo-scan"
 
 
 class GreedyDualSizePolicy(ReplacementPolicy):
@@ -161,7 +278,8 @@ class GreedyDualSizePolicy(ReplacementPolicy):
 
     Each entry carries credit ``H = L + cost / size``; hits refresh the
     credit; eviction takes the minimum ``H`` and raises the inflation
-    floor ``L`` to it.  Implemented with a heap and lazy invalidation.
+    floor ``L`` to it.  Implemented with a heap and lazy invalidation
+    (compacted like :class:`_HeapPolicy` so stale items cannot pile up).
     """
 
     name = "gds"
@@ -181,6 +299,9 @@ class GreedyDualSizePolicy(ReplacementPolicy):
         self._h[entry.url] = h
         self._entries[entry.url] = entry
         heapq.heappush(self._heap, (h, entry.url))
+        if len(self._heap) > 2 * len(self._entries) + 64:
+            self._heap = [(h, url) for url, h in self._h.items()]
+            heapq.heapify(self._heap)
 
     def on_insert(self, entry: CacheEntry, now: float) -> None:
         self._push(entry)
@@ -222,12 +343,22 @@ _POLICIES = {
 
 POLICY_NAMES = tuple(sorted(_POLICIES))
 
+#: Scan-reference twins, addressable through :func:`make_policy` for
+#: differential tests and A/B benchmarks but deliberately *not* part of
+#: :data:`POLICY_NAMES` (experiments sweep only the canonical policies).
+_SCAN_POLICIES = {
+    cls.name: cls
+    for cls in (ScanLFUPolicy, ScanSizePolicy, ScanCostPolicy, ScanFIFOPolicy)
+}
+
+SCAN_POLICY_NAMES = tuple(sorted(_SCAN_POLICIES))
+
 
 def make_policy(name: str) -> ReplacementPolicy:
     """Instantiate a replacement policy by name (see ``POLICY_NAMES``)."""
-    try:
-        return _POLICIES[name]()
-    except KeyError:
+    cls = _POLICIES.get(name) or _SCAN_POLICIES.get(name)
+    if cls is None:
         raise ValueError(
-            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
-        ) from None
+            f"unknown policy {name!r}; choose from {POLICY_NAMES + SCAN_POLICY_NAMES}"
+        )
+    return cls()

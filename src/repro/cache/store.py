@@ -64,18 +64,19 @@ class CacheStore:
         for broadcasting the insert + any eviction deletes.
         """
         evicted: List[CacheEntry] = []
-        if entry.url in self._entries:
+        entries = self._entries
+        policy = self.policy
+        if entry.url in entries:
             # Re-insert (e.g. refresh after expiry): replace in place.
-            self._remove(self._entries[entry.url])
-        while len(self._entries) >= self.capacity:
-            victim = self.policy.victim()
+            self._remove(entries[entry.url])
+        while len(entries) >= self.capacity:
+            victim = policy.victim()
             self._remove(victim)
             evicted.append(victim)
             self.evictions += 1
-        self._entries[entry.url] = entry
-        self.policy.on_insert(entry, now)
-        self.fs.create(entry.file_path, entry.size)
-        self.fs.warm(entry.file_path)  # the tee just wrote it
+        entries[entry.url] = entry
+        policy.on_insert(entry, now)
+        self.fs.create_warm(entry.file_path, entry.size)  # the tee just wrote it
         self.insertions += 1
         return evicted
 
@@ -96,8 +97,7 @@ class CacheStore:
     def _remove(self, entry: CacheEntry) -> None:
         del self._entries[entry.url]
         self.policy.on_remove(entry)
-        if self.fs.exists(entry.file_path):
-            self.fs.unlink(entry.file_path)
+        self.fs.unlink_if_exists(entry.file_path)
 
     def expired_entries(self, now: float) -> List[CacheEntry]:
         return [e for e in self._entries.values() if e.expired(now)]

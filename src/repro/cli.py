@@ -373,6 +373,29 @@ def _cmd_bench(args) -> int:
     )
     report = _bench.write_bench_report(results, out)
     print(f"\n(report written to {out}; peak RSS {report['peak_rss_kb']} kB)")
+    if args.compare:
+        snap_path = Path(args.compare)
+        if not snap_path.exists():
+            print(f"error: no such snapshot: {snap_path}", file=sys.stderr)
+            return 2
+        import json as _json
+
+        snapshot = _json.loads(snap_path.read_text())
+        text, regressed = _bench.compare_with_snapshot(
+            results, snapshot, threshold=args.compare_threshold
+        )
+        print(f"\ncomparison against {snap_path}:\n{text}")
+        if regressed:
+            msg = (
+                f"bench gate: {len(regressed)} workload(s) regressed more "
+                f"than {args.compare_threshold:.0%} vs {snap_path}: "
+                + ", ".join(regressed)
+            )
+            if args.compare_warn_only:
+                print(f"warning: {msg}", file=sys.stderr)
+            else:
+                print(f"error: {msg}", file=sys.stderr)
+                return 1
     return 0
 
 
@@ -564,6 +587,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", default=None,
         help="report path (default BENCH_<date>.json in the current dir)",
+    )
+    p.add_argument(
+        "--compare", metavar="SNAPSHOT",
+        help="compare events/sec against a committed BENCH_*.json and "
+        "exit 1 on regression beyond --compare-threshold",
+    )
+    p.add_argument(
+        "--compare-threshold", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional events/sec regression before the gate "
+        "trips (default 0.25)",
+    )
+    p.add_argument(
+        "--compare-warn-only", action="store_true",
+        help="report regressions but always exit 0 (for noisy machines)",
     )
     p.set_defaults(func=_cmd_bench)
 

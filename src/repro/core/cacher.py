@@ -462,8 +462,11 @@ class CacherModule:
             yield self.machine.compute(
                 self.machine.costs.broadcast_per_peer_cpu * len(self.peers)
             )
+            # Pass the span along so each directory-update hop shows up as
+            # a child of this broadcast in `repro trace` output.
             self.network.broadcast(
-                self.name, self.peers, UPDATE_PORT, update, DIRECTORY_UPDATE_BYTES
+                self.name, self.peers, UPDATE_PORT, update,
+                DIRECTORY_UPDATE_BYTES, parent=child,
             )
         finally:
             self._end_span(child, peers=len(self.peers))

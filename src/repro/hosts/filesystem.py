@@ -34,6 +34,9 @@ class FileSystem:
         self._files: Dict[str, int] = {}  # path -> size in bytes
         self._mtimes: Dict[str, float] = {}  # path -> last modification time
         self._cache: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        #: costs is frozen, so the block size can be cached off the
+        #: attribute chain (``_nblocks`` runs on every create/read/unlink).
+        self._block_size = costs.disk.block_size
         self._capacity_blocks = max(
             1, costs.buffer_cache_bytes // costs.disk.block_size
         )
@@ -65,12 +68,21 @@ class FileSystem:
             raise FileNotFound(path) from None
 
     def unlink(self, path: str) -> None:
-        if path not in self._files:
+        if not self.unlink_if_exists(path):
             raise FileNotFound(path)
-        nblocks = self._nblocks(self._files.pop(path))
-        self._mtimes.pop(path, None)
-        for i in range(nblocks):
-            self._cache.pop((path, i), None)
+
+    def unlink_if_exists(self, path: str) -> bool:
+        """Remove ``path`` if present; returns whether it existed.  (The
+        cache store's eviction path calls this once per victim — a
+        separate exists() probe would double the dict lookups.)"""
+        size = self._files.pop(path, None)
+        if size is None:
+            return False
+        del self._mtimes[path]
+        cache = self._cache
+        for i in range(self._nblocks(size)):
+            cache.pop((path, i), None)
+        return True
 
     @property
     def file_count(self) -> int:
@@ -78,8 +90,9 @@ class FileSystem:
 
     # -- block cache --------------------------------------------------------
     def _nblocks(self, size: int) -> int:
-        bs = self.costs.disk.block_size
-        return max(1, -(-size // bs))  # ceil; even empty files own a block
+        if size <= 0:
+            return 1  # even empty files own a block
+        return -(-size // self._block_size)  # ceil
 
     def _touch(self, key: Tuple[str, int]) -> bool:
         """LRU lookup; returns True on hit."""
@@ -140,8 +153,29 @@ class FileSystem:
     def warm(self, path: str) -> None:
         """Pull a file wholly into the buffer cache without charging time."""
         size = self.size_of(path)
+        cache = self._cache
         for i in range(self._nblocks(size)):
-            self._insert((path, i))
+            key = (path, i)
+            cache[key] = None
+            cache.move_to_end(key)
+        while len(cache) > self._capacity_blocks:
+            cache.popitem(last=False)
+
+    def create_warm(self, path: str, size: int) -> None:
+        """``create`` + ``warm`` in one call (the cache-store insert path:
+        the tee just wrote the result file, so its blocks are hot).
+        Behaviorally identical to calling the two methods in sequence."""
+        if size < 0:
+            raise ValueError(f"negative file size {size}")
+        self._files[path] = size
+        self._mtimes[path] = self.sim.now
+        cache = self._cache
+        for i in range(self._nblocks(size)):
+            key = (path, i)
+            cache[key] = None
+            cache.move_to_end(key)
+        while len(cache) > self._capacity_blocks:
+            cache.popitem(last=False)
 
     def __repr__(self) -> str:
         return (

@@ -11,9 +11,10 @@ __all__ = ["Message"]
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One datagram/stream chunk moving between hosts."""
+    """One datagram/stream chunk moving between hosts (slotted: one is
+    minted per transmitted copy, N per directory broadcast)."""
 
     src: str
     dst: str

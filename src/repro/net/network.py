@@ -9,12 +9,25 @@ that for the broadcast protocol).
 
 Hosts expose named *ports*; each registered port is a :class:`~repro.sim.
 Store` mailbox a daemon process can block on.
+
+Hot-path structure: NIC claims happen *synchronously* at :meth:`send` /
+:meth:`broadcast` call time, so acquisition order is call order — exactly
+the FCFS order the original process-per-message implementation produced.
+An uncontended ``send`` completes without spawning a simulator process at
+all (two timeout events end to end), and ``broadcast`` serializes all its
+copies from a single fan-out process instead of one process per
+destination.  Per-destination delivery instants, NIC serialization order,
+loss draws, and the ``messages_sent``/``bytes_sent`` accounting points
+are identical to replicated unicast — :meth:`broadcast_unicast` retains
+the original implementation as the executable reference the regression
+suite compares against.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..sim import Event, Resource, Simulator, Store, Tally
 from .message import Message
@@ -65,8 +78,9 @@ class Network:
         self.bytes_sent = 0
         self.transit_times = Tally(f"{name}.transit", keep_samples=False)
         #: Optional :class:`~repro.obs.TraceCollector`.  Message hops are
-        #: traced only when the sender passes a parent span to :meth:`send`,
-        #: so untraced traffic (and tracing off) costs nothing.
+        #: traced only when the sender passes a parent span to :meth:`send`
+        #: or :meth:`broadcast`, so untraced traffic (and tracing off)
+        #: costs nothing.
         self.tracer = None
 
     # -- topology -----------------------------------------------------------
@@ -89,6 +103,16 @@ class Network:
         except KeyError:
             raise UnknownPort(f"{host}:{port}") from None
 
+    # -- tracing --------------------------------------------------------------
+    def _hop_span(self, parent, src: str, dst: str, port: str, size: int):
+        if self.tracer is None or parent is None:
+            return None
+        now, tick = self.sim.monotonic()
+        return self.tracer.start_span(
+            f"hop:{src}->{dst}", parent=parent, category="network",
+            node=src, start=now, tick=tick, port=port, bytes=size,
+        )
+
     # -- transmission ---------------------------------------------------------
     def send(
         self, src: str, dst: str, port: str, payload: Any, size: int,
@@ -109,28 +133,45 @@ class Network:
             src=src, dst=dst, port=port, payload=payload, size=size,
             send_time=self.sim.now,
         )
-        span = None
-        if self.tracer is not None and parent is not None:
-            now, tick = self.sim.monotonic()
-            span = self.tracer.start_span(
-                f"hop:{src}->{dst}", parent=parent, category="network",
-                node=src, start=now, tick=tick, port=port, bytes=size,
-            )
+        span = self._hop_span(parent, src, dst, port, size)
         delivered = Event(self.sim)
+        nic = self._nics[src]
+        token = nic.try_acquire()
+        if token is not None:
+            # Fast path: the NIC is idle, so the whole transmission can be
+            # driven by timeout callbacks — no process, no request event.
+            if size:
+                self.sim.timeout(size / self.bandwidth).callbacks.append(
+                    partial(self._serialized, nic, token, msg, delivered, span)
+                )
+            else:
+                self._serialized(nic, token, msg, delivered, span)
+            return delivered
+        # Contended: queue on the NIC now (claim order = call order) and
+        # let a transmit process wait out the grant.
+        req = nic.request()
         self.sim.process(
-            self._transmit(msg, delivered, span), name=f"xmit-{msg.msg_id}"
+            self._transmit(nic, req, msg, delivered, span),
+            name=f"xmit-{msg.msg_id}",
         )
         return delivered
 
-    def _transmit(self, msg: Message, delivered: Event, span=None):
-        nic = self._nics[msg.src]
-        req = nic.request()
+    def _transmit(self, nic: Resource, req, msg: Message, delivered: Event, span):
         yield req
         try:
             if msg.size:
                 yield self.sim.timeout(msg.size / self.bandwidth)
         finally:
             nic.release(req)
+        self._launch(msg, delivered, span)
+
+    def _serialized(self, nic, token, msg, delivered, span, _evt=None) -> None:
+        """Fast-path tail: the sender NIC finished serializing ``msg``."""
+        nic.release(token)
+        self._launch(msg, delivered, span)
+
+    def _launch(self, msg: Message, delivered: Event, span) -> None:
+        """The copy left the NIC: draw loss, then ride the wire latency."""
         if (
             self.loss_rate
             and msg.port in self.lossy_ports
@@ -141,7 +182,11 @@ class Network:
                 span.close(self.sim.now, dropped=True)
             delivered.succeed(None)  # dropped: delivery event reports None
             return
-        yield self.sim.timeout(self.latency)
+        self.sim.timeout(self.latency).callbacks.append(
+            partial(self._deliver, msg, delivered, span)
+        )
+
+    def _deliver(self, msg: Message, delivered: Event, span, _evt=None) -> None:
         msg.deliver_time = self.sim.now
         self.messages_sent += 1
         self.bytes_sent += msg.size
@@ -151,10 +196,90 @@ class Network:
         self._ports[(msg.dst, msg.port)].put(msg)
         delivered.succeed(msg)
 
-    def broadcast(self, src: str, dsts, port: str, payload: Any, size: int) -> list:
-        """Unicast a copy to every host in ``dsts`` (LAN broadcast is modelled
-        as replicated unicast: each copy serializes on the sender NIC)."""
-        return [self.send(src, dst, port, payload, size) for dst in dsts]
+    # -- broadcast ------------------------------------------------------------
+    def broadcast(
+        self, src: str, dsts, port: str, payload: Any, size: int, parent=None,
+    ) -> List[Event]:
+        """LAN broadcast: one copy per host in ``dsts``, serialized back to
+        back on the sender NIC.
+
+        Modelled exactly like replicated unicast (each copy holds the NIC
+        for ``size / bandwidth`` and arrives ``latency`` later) but driven
+        by a *single* fan-out process that claims the NIC once, so an
+        N-peer directory update costs one process instead of N.  Returns
+        the per-destination delivery events, in ``dsts`` order.
+
+        ``parent`` attaches one hop span per destination (with a tracer).
+        """
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        dsts = list(dsts)
+        for dst in dsts:
+            if (dst, port) not in self._ports:
+                raise UnknownPort(f"{dst}:{port}")
+        if not dsts:
+            return []
+        self.attach(src)
+        now = self.sim.now
+        copies = []
+        events = []
+        for dst in dsts:
+            msg = Message(
+                src=src, dst=dst, port=port, payload=payload, size=size,
+                send_time=now,
+            )
+            span = self._hop_span(parent, src, dst, port, size)
+            delivered = Event(self.sim)
+            copies.append((msg, delivered, span))
+            events.append(delivered)
+        nic = self._nics[src]
+        req = nic.request()  # synchronous claim: FCFS order = call order
+        self.sim.process(
+            self._transmit_fanout(nic, req, copies, size),
+            name=f"bcast-{copies[0][0].msg_id}",
+        )
+        return events
+
+    def _transmit_fanout(self, nic: Resource, req, copies, size: int):
+        ser = size / self.bandwidth if size else 0.0
+        yield req
+        try:
+            for msg, delivered, span in copies:
+                if ser:
+                    yield self.sim.timeout(ser)
+                self._launch(msg, delivered, span)
+        finally:
+            nic.release(req)
+
+    def broadcast_unicast(
+        self, src: str, dsts, port: str, payload: Any, size: int, parent=None,
+    ) -> List[Event]:
+        """Reference implementation of :meth:`broadcast` as replicated
+        unicast: one transmit process per destination, exactly the pre-
+        flattening behavior.  Kept for differential tests and A/B
+        benchmarks; the delivery schedule, NIC serialization order, loss
+        draws, and counters must match :meth:`broadcast` exactly."""
+        events = []
+        for dst in dsts:
+            if size < 0:
+                raise ValueError(f"negative message size {size}")
+            if (dst, port) not in self._ports:
+                raise UnknownPort(f"{dst}:{port}")
+            self.attach(src)
+            msg = Message(
+                src=src, dst=dst, port=port, payload=payload, size=size,
+                send_time=self.sim.now,
+            )
+            span = self._hop_span(parent, src, dst, port, size)
+            delivered = Event(self.sim)
+            nic = self._nics[src]
+            req = nic.request()
+            self.sim.process(
+                self._transmit(nic, req, msg, delivered, span),
+                name=f"xmit-{msg.msg_id}",
+            )
+            events.append(delivered)
+        return events
 
     def transfer_time(self, size: int) -> float:
         """Uncontended wire time for a message of ``size`` bytes."""

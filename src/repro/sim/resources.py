@@ -69,6 +69,23 @@ class Resource:
             self._queue.append(req)
         return req
 
+    def try_acquire(self) -> Optional[object]:
+        """Claim a free unit *synchronously*, without creating or
+        scheduling any event.
+
+        Returns an opaque token to pass to :meth:`release`, or ``None``
+        when no unit is free.  This is the no-contention fast path for
+        callers that would otherwise spawn a process just to ``yield
+        request()``: when the resource is idle the claim is immediate and
+        event-free, and FCFS fairness is preserved because a token is
+        only handed out when the wait queue is empty.
+        """
+        if len(self._users) < self.capacity and not self._queue:
+            token = object()
+            self._users.add(token)
+            return token
+        return None
+
     def release(self, request: Request) -> None:
         if request in self._users:
             self._users.remove(request)

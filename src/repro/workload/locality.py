@@ -62,22 +62,48 @@ def stack_distances(trace: Trace) -> List[Optional[int]]:
 
     A distance of 0 means the immediately-preceding *distinct* URL touched
     was this same URL (re-reference with nothing in between).
+
+    The Fenwick-tree operations are inlined on a bare list here: this
+    function runs over every reference of every analyzed trace, and the
+    per-reference cost is three short bit-trick loops — method-call
+    framing and bounds checks would double it.  ``FenwickTree`` remains
+    the readable reference; ``tests/workload`` pins this loop against it.
     """
     n = len(trace)
-    tree = FenwickTree(n)
+    tree = [0] * (n + 1)
     last_pos: Dict[str, int] = {}
     out: List[Optional[int]] = []
+    append = out.append
+    get_prev = last_pos.get
     for i, request in enumerate(trace):
         url = request.url
-        prev = last_pos.get(url)
+        prev = get_prev(url)
         if prev is None:
-            out.append(None)
+            append(None)
         else:
             # Count distinct URLs referenced in (prev, i): exactly the
-            # marked most-recent positions in that interval.
-            out.append(tree.range_sum(prev + 1, i))
-            tree.add(prev, -1)
-        tree.add(i, +1)
+            # marked most-recent positions in that interval —
+            # prefix_sum(i) - prefix_sum(prev + 1), inlined.
+            total = 0
+            j = i
+            while j > 0:
+                total += tree[j]
+                j -= j & (-j)
+            j = prev + 1
+            while j > 0:
+                total -= tree[j]
+                j -= j & (-j)
+            append(total)
+            # add(prev, -1): the old position is no longer most-recent.
+            j = prev + 1
+            while j <= n:
+                tree[j] -= 1
+                j += j & (-j)
+        # add(i, +1): mark this reference as the most recent to url.
+        j = i + 1
+        while j <= n:
+            tree[j] += 1
+            j += j & (-j)
         last_pos[url] = i
     return out
 

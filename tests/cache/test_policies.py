@@ -57,9 +57,13 @@ class TestLFU:
         a, b = entry("/a"), entry("/b")
         p.on_insert(a, 0)
         p.on_insert(b, 0)
-        a.touch(1.0)
-        a.touch(2.0)
+        # Accesses go through the hook, as the store does (touch then
+        # on_access) — the heap index relies on being notified.
+        for t in (1.0, 2.0):
+            a.touch(t)
+            p.on_access(a, t)
         b.touch(3.0)
+        p.on_access(b, 3.0)
         assert p.victim() is b
 
     def test_recency_breaks_ties(self):
@@ -68,7 +72,9 @@ class TestLFU:
         p.on_insert(a, 0)
         p.on_insert(b, 0)
         a.touch(5.0)
+        p.on_access(a, 5.0)
         b.touch(9.0)
+        p.on_access(b, 9.0)
         assert p.victim() is a
 
 

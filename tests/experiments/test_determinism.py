@@ -15,9 +15,13 @@ Two independent contracts are pinned here:
 
 from __future__ import annotations
 
-from repro.experiments import run_figure3, run_figure4, run_table2
+import dataclasses
+
+from repro.experiments import run_figure3, run_figure4, run_table2, run_table3
+from repro.experiments.ablations import run_policy_ablation
 from repro.experiments.common import RunObserver, observe_runs
 from repro.experiments.parallel import effective_jobs, fanout
+from repro.net import Network
 from repro.obs import TraceCollector
 
 FIG3_KW = dict(n_clients=4, requests_per_client=3)
@@ -46,6 +50,47 @@ def test_same_seed_byte_identical_trace(tmp_path):
     assert dumps[0] == dumps[1]
     # sanity: the trace actually recorded spans
     assert len(dumps[0].splitlines()) > 10
+
+
+def test_same_seed_identical_table3():
+    """The broadcast-heaviest experiment (insert + invalidate fan-out on
+    every request) is bit-stable across runs — pins the flattened
+    broadcast's event ordering."""
+    kw = dict(node_counts=(2, 4), n_requests=30)
+    assert run_table3(**kw) == run_table3(**kw)
+
+
+def test_flattened_broadcast_matches_replicated_unicast(monkeypatch):
+    """Swapping ``Network.broadcast`` for the retained replicated-unicast
+    reference must not change experiment output at all: the flattening is
+    a pure mechanics change, not a model change."""
+    kw = dict(node_counts=(3,), n_requests=30)
+    flat = run_table3(**kw)
+    monkeypatch.setattr(Network, "broadcast", Network.broadcast_unicast)
+    unicast = run_table3(**kw)
+    assert flat == unicast
+
+
+ABLATION_KW = dict(cache_size=20, n_nodes=3, total=400, unique=280)
+
+
+def test_same_seed_identical_policy_ablation():
+    kw = dict(policies=("lfu", "size", "cost", "fifo"), **ABLATION_KW)
+    assert run_policy_ablation(**kw) == run_policy_ablation(**kw)
+
+
+def test_heap_policy_matches_scan_twin_end_to_end():
+    """A full cluster run under a heap-indexed policy equals the same run
+    under its O(n) scan twin in every statistic (only the policy label
+    differs) — the index changes victim *lookup*, never victim *choice*."""
+    for name in ("lfu", "size"):
+        (heap_row,) = run_policy_ablation(policies=(name,), **ABLATION_KW)
+        (scan_row,) = run_policy_ablation(policies=(f"{name}-scan",), **ABLATION_KW)
+        heap_fields = dataclasses.asdict(heap_row)
+        scan_fields = dataclasses.asdict(scan_row)
+        assert heap_fields.pop("policy") == name
+        assert scan_fields.pop("policy") == f"{name}-scan"
+        assert heap_fields == scan_fields
 
 
 def test_serial_matches_parallel_figure4():

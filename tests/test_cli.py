@@ -247,3 +247,57 @@ class TestTracing:
         # Figure 3 exercises local hits, remote hits, misses, and files.
         assert "local-hit" in out
         assert "remote-hit" in out
+
+
+class TestBenchCompare:
+    """The `repro bench --compare` gate against a committed snapshot."""
+
+    def _snapshot(self, tmp_path, events_per_sec):
+        import json
+
+        snap = tmp_path / "BENCH_base.json"
+        snap.write_text(json.dumps({
+            "schema": "repro-bench-v1",
+            "results": [{
+                "name": "event_dispatch", "rounds": 1, "events": 20002,
+                "wall_min_s": 0.01, "wall_mean_s": 0.01,
+                "events_per_sec": events_per_sec,
+            }],
+        }))
+        return snap
+
+    def _bench(self, tmp_path, snap, *extra):
+        return main([
+            "bench", "--rounds", "1", "--only", "event_dispatch",
+            "--output", str(tmp_path / "fresh.json"),
+            "--compare", str(snap), *extra,
+        ])
+
+    def test_pass_when_at_least_as_fast(self, capsys, tmp_path):
+        snap = self._snapshot(tmp_path, events_per_sec=1.0)  # trivially beaten
+        assert self._bench(tmp_path, snap) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fail_on_regression(self, capsys, tmp_path):
+        snap = self._snapshot(tmp_path, events_per_sec=1e12)  # unbeatable
+        assert self._bench(tmp_path, snap) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_to_success(self, capsys, tmp_path):
+        snap = self._snapshot(tmp_path, events_per_sec=1e12)
+        assert self._bench(tmp_path, snap, "--compare-warn-only") == 0
+
+    def test_missing_snapshot_is_usage_error(self, tmp_path):
+        assert self._bench(tmp_path, tmp_path / "nope.json") == 2
+
+    def test_new_workload_is_not_a_regression(self, capsys, tmp_path):
+        import json
+
+        snap = self._snapshot(tmp_path, events_per_sec=1e12)
+        data = json.loads(snap.read_text())
+        data["results"][0]["name"] = "retired_workload"
+        snap.write_text(json.dumps(data))
+        assert self._bench(tmp_path, snap) == 0
+        out = capsys.readouterr().out
+        assert "new (no baseline)" in out
+        assert "not run" in out
