@@ -55,19 +55,25 @@ def _export(rows, args) -> None:
 
 @contextmanager
 def _observability(args):
-    """Install a run observer when ``--trace-out``/``--metrics-out`` ask
-    for one; write the collected artifacts once the command finishes."""
+    """Install a run observer when ``--trace-out``/``--metrics-out``/
+    ``--audit-out``/``--timeseries-out`` ask for one; write the collected
+    artifacts once the command finishes."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    audit_out = getattr(args, "audit_out", None)
+    timeseries_out = getattr(args, "timeseries_out", None)
+    if not trace_out and not metrics_out and not audit_out and not timeseries_out:
         yield None
         return
     from .experiments.common import RunObserver, observe_runs
-    from .obs import MetricsRegistry, TraceCollector
+    from .obs import ConsistencyOracle, MetricsRegistry, TimeSeriesLog, TraceCollector
 
     observer = RunObserver(
         tracer=TraceCollector() if trace_out else None,
         registry=MetricsRegistry() if metrics_out else None,
+        oracle=ConsistencyOracle() if audit_out else None,
+        timeseries=TimeSeriesLog() if timeseries_out else None,
+        timeseries_dt=getattr(args, "timeseries_dt", 1.0),
     )
     with observe_runs(observer):
         yield observer
@@ -84,6 +90,21 @@ def _observability(args):
     if metrics_out:
         observer.registry.write(metrics_out)
         print(f"(metrics written to {metrics_out})")
+    if audit_out:
+        observer.oracle.write_jsonl(audit_out)
+        note = ""
+        if observer.oracle.dropped_records:
+            note = f", {observer.oracle.dropped_records} dropped at capacity"
+        print(
+            f"(audit: {len(observer.oracle.audits)} requests written to "
+            f"{audit_out}{note}; inspect with `repro audit`)"
+        )
+    if timeseries_out:
+        observer.timeseries.write_jsonl(timeseries_out)
+        print(
+            f"(timeseries: {len(observer.timeseries.samples)} samples "
+            f"written to {timeseries_out})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -305,11 +326,15 @@ def _cmd_trace(args) -> int:
     if not path.exists():
         print(f"error: no such trace file: {path}", file=sys.stderr)
         return 2
-    try:
-        dump = load_jsonl(path)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    # Lenient load: a trace truncated mid-write (killed run) still
+    # analyzes; torn lines are skipped and reported.
+    dump = load_jsonl(path, strict=False)
+    if dump.skipped_lines:
+        print(
+            f"warning: skipped {dump.skipped_lines} malformed line(s) in "
+            f"{path} (truncated trace?)",
+            file=sys.stderr,
+        )
     if not len(dump):
         print("error: no spans in the trace file", file=sys.stderr)
         return 2
@@ -337,6 +362,55 @@ def _cmd_trace(args) -> int:
                 return 2
     else:
         sections.append(render_trace_report(dump))
+    _emit("\n\n".join(sections), args.output)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    """Render the consistency-audit report from an ``--audit-out`` file."""
+    from .obs import (
+        load_audit,
+        load_timeseries,
+        render_anomaly_timeline,
+        render_audit_report,
+        render_staleness,
+        render_taxonomy,
+        render_timeseries_dashboard,
+    )
+
+    path = Path(args.auditfile)
+    if not path.exists():
+        print(f"error: no such audit file: {path}", file=sys.stderr)
+        return 2
+    try:
+        dump = load_audit(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not len(dump):
+        print("error: no request records in the audit file", file=sys.stderr)
+        return 2
+
+    sections = []
+    wants_specific = args.taxonomy or args.staleness or args.timeline
+    if wants_specific:
+        if args.taxonomy:
+            sections.append(render_taxonomy(dump))
+        if args.staleness:
+            sections.append(render_staleness(dump))
+        if args.timeline:
+            sections.append(render_anomaly_timeline(dump, bins=args.bins))
+    else:
+        sections.append(render_audit_report(dump, bins=args.bins))
+    if args.timeseries:
+        ts_path = Path(args.timeseries)
+        if not ts_path.exists():
+            print(f"error: no such timeseries file: {ts_path}", file=sys.stderr)
+            return 2
+        log = load_timeseries(ts_path)
+        sections.append(
+            render_timeseries_dashboard(log, series=args.series or None)
+        )
     _emit("\n\n".join(sections), args.output)
     return 0
 
@@ -447,6 +521,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="scrape run metrics into a registry and write it "
             "(.json => JSON, else Prometheus text)",
         )
+        p.add_argument(
+            "--audit-out",
+            help="attach the consistency oracle and write the per-request "
+            "audit (JSONL; inspect with `repro audit`)",
+        )
+        p.add_argument(
+            "--timeseries-out",
+            help="sample per-node counters (and oracle anomaly counts) "
+            "every --timeseries-dt simulated seconds into a JSONL timeline",
+        )
+        p.add_argument(
+            "--timeseries-dt", type=float, default=1.0, metavar="SECONDS",
+            help="sampling interval for --timeseries-out (default 1.0)",
+        )
 
     def common(p):
         p.add_argument("--seed", type=int, default=0)
@@ -456,7 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1, metavar="N",
             help="fan independent runs over N worker processes (sweep "
             "commands; results are identical to a serial run; falls back "
-            "to serial when --trace-out/--metrics-out is active)",
+            "to serial when any observability flag is active)",
         )
         observability(p)
 
@@ -565,6 +653,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeline bar width in characters")
     p.add_argument("--output", help="also write the report to this file")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "audit",
+        help="consistency-audit report (anomaly taxonomy, staleness "
+        "windows, per-node timelines) from a file written with --audit-out",
+    )
+    p.add_argument("auditfile")
+    p.add_argument("--taxonomy", action="store_true",
+                   help="only the anomaly taxonomy table")
+    p.add_argument("--staleness", action="store_true",
+                   help="only the broadcast staleness-window distribution")
+    p.add_argument("--timeline", action="store_true",
+                   help="only the per-node anomaly sparklines")
+    p.add_argument("--bins", type=int, default=60,
+                   help="timeline resolution in bins (default 60)")
+    p.add_argument("--timeseries", metavar="FILE",
+                   help="also render the sparkline dashboard from a "
+                   "--timeseries-out file")
+    p.add_argument("--series", nargs="*", metavar="SUBSTR",
+                   help="filter dashboard series by substring")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("describe-trace", help="summarize a saved trace file")
     p.add_argument("tracefile")

@@ -85,6 +85,9 @@ class CacherModule:
         #: ``attach_tracer``); ``None`` => the request-thread services pay
         #: only ``is None`` checks.
         self.tracer = None
+        #: Optional :class:`~repro.obs.ConsistencyOracle` (set by the
+        #: server's ``attach_oracle``); same zero-cost-when-off contract.
+        self.oracle = None
 
     # -- span helpers (no-ops while no tracer is attached) -------------------
     def _span(self, parent, name: str, category: str):
@@ -126,12 +129,18 @@ class CacherModule:
                     # any given duplicate, so the count never double-fires.)
                     self.stats.double_cached += 1
                     self.stats.false_misses += 1
+                    if self.oracle is not None:
+                        self.oracle.observe_double_cached(
+                            self.name, entry.url, update, msg, self.sim.now
+                        )
                 yield from self.directory.insert(entry)
             elif isinstance(update, CacheDelete):
                 yield from self.directory.delete(update.url, update.owner)
             else:  # pragma: no cover - protocol misuse
                 raise TypeError(f"unexpected update {update!r}")
             self.stats.updates_applied += 1
+            if self.oracle is not None:
+                self.oracle.broadcast_applied(self.name, update, msg, self.sim.now)
 
     def _fetch_server(self):
         """Daemon 2: per fetch request, start a thread to return contents."""
@@ -180,6 +189,8 @@ class CacherModule:
             purged = self.store.purge_expired(now)
             for entry in purged:
                 self.stats.expirations += 1
+                if self.oracle is not None:
+                    self.oracle.shadow_remove(self.name, entry.url, "ttl", now)
                 yield from self.directory.delete(entry.url, self.name)
                 yield from self._broadcast(CacheDelete(url=entry.url, owner=self.name))
 
@@ -237,6 +248,8 @@ class CacherModule:
         if entry is not None:
             self.store.remove(url)
             self.stats.invalidated += 1
+            if self.oracle is not None:
+                self.oracle.shadow_remove(self.name, url, "invalidated", self.sim.now)
             yield from self.directory.delete(url, self.name)
             yield from self._broadcast(CacheDelete(url=url, owner=self.name))
             return
@@ -405,7 +418,9 @@ class CacherModule:
             and request.response_size <= self.config.max_entry_size
         )
 
-    def insert_result(self, request: Request, exec_time: float, span=None) -> Generator:
+    def insert_result(
+        self, request: Request, exec_time: float, span=None, audit=None
+    ) -> Generator:
         """Process: create the entry, update directory, broadcast (Fig. 2's
         'Create cache entry' + 'Broadcast cache entry' boxes)."""
         now = self.sim.now
@@ -414,6 +429,8 @@ class CacherModule:
             if self.config.cooperative and self.directory.has_elsewhere(request.url):
                 # A peer cached this while we were executing: type-2 false miss.
                 self.stats.false_misses += 1
+                if audit is not None:
+                    self.oracle.insert_raced(audit, request.url, now)
             entry = CacheEntry(
                 url=request.url,
                 owner=self.name,
@@ -428,6 +445,12 @@ class CacherModule:
                 self.machine.costs.cache_write_per_byte_cpu * entry.size
             )
             evicted = self.store.insert(entry, now)
+            if self.oracle is not None:
+                self.oracle.shadow_insert(self.name, entry.url, now, entry.ttl)
+                for victim in evicted:
+                    self.oracle.shadow_remove(
+                        self.name, victim.url, "capacity", now
+                    )
             yield from self.directory.insert(entry)
             self.stats.inserts += 1
             for victim in evicted:
@@ -450,6 +473,8 @@ class CacherModule:
         false hits linger beyond the usual window."""
         for entry in self.store.entries():
             self.store.remove(entry.url)
+            if self.oracle is not None:
+                self.oracle.shadow_remove(self.name, entry.url, "flush", self.sim.now)
             yield from self.directory.delete(entry.url, self.name)
             yield from self._broadcast(CacheDelete(url=entry.url, owner=self.name))
 
@@ -457,6 +482,8 @@ class CacherModule:
         """Process: send one directory update to every peer."""
         if not self.peers:
             return
+        if self.oracle is not None:
+            self.oracle.broadcast_sent(self.name, update, self.peers, self.sim.now)
         child = self._span(span, "broadcast", "cpu")
         try:
             yield self.machine.compute(

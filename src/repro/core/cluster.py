@@ -84,6 +84,13 @@ class SwalaCluster:
         for server in self.servers:
             server.attach_tracer(collector)
 
+    def attach_oracle(self, oracle) -> None:
+        """Audit every node's requests — and directory-update losses —
+        into one cluster-wide consistency ``oracle``."""
+        self.network.oracle = oracle
+        for server in self.servers:
+            server.attach_oracle(oracle)
+
     def install_files(self, trace: Trace) -> None:
         """Give every node a copy of the static documents (shared docroot)."""
         for server in self.servers:

@@ -80,17 +80,27 @@ class HttpResponse:
 
 @dataclass
 class CacheInsert:
-    """Broadcast when a node adds a cache entry."""
+    """Broadcast when a node adds a cache entry.
+
+    ``bcast_id`` is stamped by the consistency oracle (when attached) so
+    receivers can attribute replica staleness to the exact broadcast; it
+    is ``None`` — and costs nothing — in normal runs.
+    """
 
     entry: CacheEntry
+    bcast_id: Optional[int] = None
 
 
 @dataclass
 class CacheDelete:
-    """Broadcast when a node evicts/expires a cache entry."""
+    """Broadcast when a node evicts/expires a cache entry.
+
+    ``bcast_id``: see :class:`CacheInsert`.
+    """
 
     url: str
     owner: str
+    bcast_id: Optional[int] = None
 
 
 @dataclass

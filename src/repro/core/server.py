@@ -61,6 +61,9 @@ class SwalaServer(ThreadPoolServer):
             config=self.config,
             stats=self.stats,
         )
+        #: Optional :class:`~repro.obs.ConsistencyOracle`; ``None`` keeps
+        #: the request path on the same instruction stream as before.
+        self.oracle = None
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -71,6 +74,11 @@ class SwalaServer(ThreadPoolServer):
     def attach_tracer(self, collector) -> None:
         super().attach_tracer(collector)
         self.cacher.tracer = collector
+
+    def attach_oracle(self, oracle) -> None:
+        """Audit this node's requests into ``oracle`` (zero-cost when off)."""
+        self.oracle = oracle
+        self.cacher.oracle = oracle
 
     def _request_thread(self, tid: int):
         # Each request thread owns a private reply mailbox for its remote
@@ -91,6 +99,11 @@ class SwalaServer(ThreadPoolServer):
     ) -> Generator:
         request = conn.request
         span = self._trace_request(conn)
+        audit = (
+            self.oracle.begin(self.name, request, self.sim.now)
+            if self.oracle is not None
+            else None
+        )
         yield from self.accept_cost(span)
         if request.kind is RequestKind.FILE:
             yield from self.serve_static(request, span)
@@ -99,21 +112,29 @@ class SwalaServer(ThreadPoolServer):
             # "An uncacheable request is executed without any more
             # communication with the cache manager."
             self.stats.uncacheable += 1
+            if audit is not None:
+                audit.uncacheable = True
             if span is not None:
                 span.annotate(uncacheable=True)
             yield from self.execute_cgi(request, span)
             source = "exec"
         else:
             source = yield from self._handle_cacheable(
-                request, reply_box, reply_port, span
+                request, reply_box, reply_port, span, audit
             )
         yield from self.send_cpu(request, span)
         self.finish(conn, source, span=span)
+        if audit is not None:
+            self.oracle.finish(audit, self.sim.now, source)
 
-    def _handle_cacheable(self, request, reply_box, reply_port, span=None) -> Generator:
+    def _handle_cacheable(
+        self, request, reply_box, reply_port, span=None, audit=None
+    ) -> Generator:
         lookup_started = self.sim.now
         false_hit_retries = 0
         coalesced = 0
+        if audit is not None:
+            self.oracle.ideal_check(audit, self.sim.now, self.config.cooperative)
         try:
             while True:
                 entry = yield from self.cacher.lookup(request.url, span)
@@ -123,6 +144,8 @@ class SwalaServer(ThreadPoolServer):
                     if served is not None:
                         self.stats.local_hits += 1
                         self.stats.hit_times.observe(self.sim.now - lookup_started)
+                        if audit is not None:
+                            audit.local_hit = True
                         return "local-cache"
                     entry = None  # purged between lookup and fetch: fall to miss
 
@@ -132,16 +155,25 @@ class SwalaServer(ThreadPoolServer):
                     if reply_box is None:
                         reply_port = f"fetch-reply-adhoc{next(_adhoc_ports)}"
                         reply_box = self.network.register(self.name, reply_port)
+                    if audit is not None:
+                        fetch_started = self.sim.now
                     reply = yield from self.cacher.fetch_remote(
                         entry, reply_box, reply_port, span
                     )
                     if reply.hit:
                         self.stats.remote_hits += 1
                         self.stats.hit_times.observe(self.sim.now - lookup_started)
+                        if audit is not None:
+                            audit.remote_hit = True
                         return "remote-cache"
                     # False hit: the owner dropped it; execute locally (Fig. 2).
                     self.stats.false_hits += 1
                     false_hit_retries += 1
+                    if audit is not None:
+                        self.oracle.false_hit(
+                            audit, request.url, entry.owner,
+                            self.sim.now - fetch_started, self.sim.now,
+                        )
 
                 # Miss.  With coalescing enabled (an extension the paper chose
                 # against), wait for an in-progress identical execution and
@@ -159,6 +191,8 @@ class SwalaServer(ThreadPoolServer):
                     if waited:
                         self.stats.coalesced += 1
                         coalesced += 1
+                        if audit is not None:
+                            self.oracle.coalesced(audit)
                         continue
 
                 # Execute the CGI, tee the output, maybe insert + broadcast.
@@ -167,19 +201,32 @@ class SwalaServer(ThreadPoolServer):
                 duplicate = self.cacher.execution_starting(request.url)
                 if duplicate:
                     self.stats.false_misses += 1
+                if audit is not None:
+                    self.oracle.execution_started(
+                        audit, request.url, duplicate, self.sim.now
+                    )
+                    exec_started = self.sim.now
                 try:
                     yield from self.execute_cgi(request, span)
                     self.stats.misses += 1
+                    if audit is not None:
+                        self.oracle.execution_cost(
+                            audit, self.sim.now - exec_started
+                        )
                     if self.cacher.should_cache_result(
                         request, request.cpu_time, ok=True
                     ):
                         yield from self.cacher.insert_result(
-                            request, request.cpu_time, span
+                            request, request.cpu_time, span, audit
                         )
                     else:
                         self.stats.discards += 1
+                        if audit is not None:
+                            audit.discarded = True
                 finally:
                     self.cacher.execution_finished(request.url)
+                    if audit is not None:
+                        self.oracle.execution_finished(self.name, request.url)
                 return "exec"
         finally:
             if span is not None and (false_hit_retries or coalesced):

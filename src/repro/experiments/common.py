@@ -37,9 +37,22 @@ class RunObserver:
     — both are idempotent per target, so the paths compose.
     """
 
-    def __init__(self, tracer=None, registry=None):
+    def __init__(
+        self,
+        tracer=None,
+        registry=None,
+        oracle=None,
+        timeseries=None,
+        timeseries_dt: float = 1.0,
+    ):
         self.tracer = tracer
         self.registry = registry
+        #: Optional :class:`~repro.obs.ConsistencyOracle` (``--audit-out``).
+        self.oracle = oracle
+        #: Optional :class:`~repro.obs.TimeSeriesLog` (``--timeseries-out``);
+        #: a sampler daemon is spawned per attached simulation.
+        self.timeseries = timeseries
+        self.timeseries_dt = timeseries_dt
         self.targets: list = []
         self._attached: set = set()
         self._collected: set = set()
@@ -60,6 +73,35 @@ class RunObserver:
         if self.tracer is not None:
             self.tracer.new_run()
             target.attach_tracer(self.tracer)
+        if self.oracle is not None and hasattr(target, "attach_oracle"):
+            self.oracle.new_run()
+            target.attach_oracle(self.oracle)
+        if self.timeseries is not None:
+            self._start_sampler(target)
+
+    def _start_sampler(self, target) -> None:
+        """Spawn one sampling daemon in ``target``'s simulation."""
+        sim = getattr(target, "sim", None)
+        if sim is None:
+            return
+        from ..obs.timeseries import (
+            TimeSeriesSampler,
+            cluster_series,
+            node_stats_series,
+            oracle_series,
+        )
+
+        self.timeseries.new_run()
+        sampler = TimeSeriesSampler(sim, self.timeseries, self.timeseries_dt)
+        if hasattr(target, "servers"):
+            sampler.add_source("cluster", cluster_series(target))
+        elif hasattr(target, "stats"):
+            sampler.add_source(
+                "node", lambda server=target: node_stats_series(server)
+            )
+        if self.oracle is not None:
+            sampler.add_source("oracle", oracle_series(self.oracle))
+        sampler.start()
 
     def collect(self, target) -> None:
         """Scrape a finished server/cluster into the metrics registry."""

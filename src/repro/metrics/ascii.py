@@ -2,9 +2,38 @@
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "series_chart"]
+__all__ = ["bar_chart", "series_chart", "sparkline"]
+
+#: Eighth-block glyphs used by :func:`sparkline`, lowest to highest.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-line block-glyph chart: ``[0, 1, 3, 7]`` -> ``▁▂▄█``.
+
+    ``lo``/``hi`` pin the scale (useful when several sparklines must
+    share one); by default the data's own extent is used.  A flat series
+    renders as all-minimum glyphs.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    extent = hi - lo
+    if extent <= 0:
+        return SPARK_BLOCKS[0] * len(values)
+    top = len(SPARK_BLOCKS) - 1
+    out = []
+    for v in values:
+        frac = (v - lo) / extent
+        out.append(SPARK_BLOCKS[max(0, min(top, int(frac * top + 0.5)))])
+    return "".join(out)
 
 
 def bar_chart(

@@ -82,6 +82,11 @@ class Network:
         #: or :meth:`broadcast`, so untraced traffic (and tracing off)
         #: costs nothing.
         self.tracer = None
+        #: Optional :class:`~repro.obs.ConsistencyOracle`.  The network
+        #: only reports *dropped* directory updates to it (a lost update
+        #: never reaches an update receiver, so nobody else can); one
+        #: ``is None`` check on the loss path, nothing on delivery.
+        self.oracle = None
 
     # -- topology -----------------------------------------------------------
     def attach(self, host: str) -> None:
@@ -180,6 +185,8 @@ class Network:
             self.messages_dropped += 1
             if span is not None:
                 span.close(self.sim.now, dropped=True)
+            if self.oracle is not None:
+                self.oracle.message_dropped(msg)
             delivered.succeed(None)  # dropped: delivery event reports None
             return
         self.sim.timeout(self.latency).callbacks.append(

@@ -15,6 +15,23 @@ from .analyze import (
     render_trace_report,
     request_records,
 )
+from .oracle import (
+    AUDIT_CLASSES,
+    AuditDump,
+    ConsistencyOracle,
+    RequestAudit,
+    load_audit,
+    render_anomaly_timeline,
+    render_audit_report,
+    render_staleness,
+    render_taxonomy,
+)
+from .timeseries import (
+    TimeSeriesLog,
+    TimeSeriesSampler,
+    load_timeseries,
+    render_timeseries_dashboard,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -60,4 +77,17 @@ __all__ = [
     "render_percentiles",
     "render_timeline",
     "render_trace_report",
+    "ConsistencyOracle",
+    "RequestAudit",
+    "AuditDump",
+    "AUDIT_CLASSES",
+    "load_audit",
+    "render_taxonomy",
+    "render_staleness",
+    "render_anomaly_timeline",
+    "render_audit_report",
+    "TimeSeriesLog",
+    "TimeSeriesSampler",
+    "load_timeseries",
+    "render_timeseries_dashboard",
 ]

@@ -233,14 +233,20 @@ def render_timeline(
     root = next((s for s in spans if s.parent_id is None), None)
     if root is None:
         return f"(trace {trace_id} has no root span)"
+    closed_ends = [s.end for s in spans if s.end is not None]
+    if not closed_ends:
+        # A truncated trace can leave every span open; there is nothing
+        # to scale the chart by, so say so instead of raising.
+        return f"(trace {trace_id}: all {len(spans)} spans unclosed — truncated trace?)"
     t0 = min(s.start for s in spans)
-    t1 = max(s.end for s in spans if s.end is not None)
+    t1 = max(closed_ends)
     extent = max(t1 - t0, 1e-12)
 
+    total = f"{root.duration * 1e3:.3f}ms" if root.end is not None else "open"
     header = (
         f"trace {trace_id}  url={root.attrs.get('url', '?')}  "
         f"outcome={outcome_of(root)}  node={root.node}  "
-        f"total={root.duration * 1e3:.3f}ms"
+        f"total={total}"
     )
     name_w = max(
         (len("  " * _span_depth(s, by_id) + s.name) for s in spans), default=4
@@ -277,10 +283,24 @@ def render_trace_report(dump: TraceDump) -> str:
         for s in spans
         if s.parent_id is None and s.end is None
     )
-    lines = [
+    n_unclosed = sum(1 for s in dump.spans if s.end is None)
+    summary = (
         f"{len(dump.spans)} spans in {len(dump.traces())} traces "
         f"({len(records)} complete requests, {n_open} unfinished), "
-        f"{len(dump.events)} engine events",
+        f"{len(dump.events)} engine events"
+    )
+    lines = [summary]
+    if n_unclosed:
+        lines.append(
+            f"warning: {n_unclosed} unclosed span(s) dropped from the "
+            "analysis (truncated trace?)"
+        )
+    if getattr(dump, "skipped_lines", 0):
+        lines.append(
+            f"warning: {dump.skipped_lines} malformed line(s) skipped while "
+            "loading"
+        )
+    lines += [
         "",
         render_breakdown(records),
         "",

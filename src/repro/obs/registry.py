@@ -55,10 +55,23 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping: backslash,
+    double quote, and line feed (backslash first, or it re-escapes)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and line feed only (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
@@ -315,7 +328,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self._metrics.values():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.type_name}")
             lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")

@@ -291,11 +291,21 @@ class TraceCollector:
 
 
 class TraceDump:
-    """A loaded trace file: spans plus the raw engine-event tail."""
+    """A loaded trace file: spans plus the raw engine-event tail.
 
-    def __init__(self, spans: List[Span], events: List[Tuple[float, str, str]]):
+    ``skipped_lines`` counts malformed lines dropped by a lenient
+    :func:`load_jsonl` (a truncated file's torn tail).
+    """
+
+    def __init__(
+        self,
+        spans: List[Span],
+        events: List[Tuple[float, str, str]],
+        skipped_lines: int = 0,
+    ):
         self.spans = spans
         self.events = events
+        self.skipped_lines = skipped_lines
 
     def traces(self) -> Dict[int, List[Span]]:
         grouped: Dict[int, List[Span]] = {}
@@ -310,10 +320,16 @@ class TraceDump:
         return f"<TraceDump spans={len(self.spans)} events={len(self.events)}>"
 
 
-def load_jsonl(path: Union[str, Path]) -> TraceDump:
-    """Load a trace file written by :meth:`TraceCollector.write_jsonl`."""
+def load_jsonl(path: Union[str, Path], strict: bool = True) -> TraceDump:
+    """Load a trace file written by :meth:`TraceCollector.write_jsonl`.
+
+    ``strict=False`` tolerates a truncated file (a run killed mid-write):
+    malformed or incomplete lines are skipped and counted in the returned
+    dump's ``skipped_lines`` instead of raising.
+    """
     spans: List[Span] = []
     events: List[Tuple[float, str, str]] = []
+    skipped = 0
     for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
         line = line.strip()
         if not line:
@@ -321,16 +337,22 @@ def load_jsonl(path: Union[str, Path]) -> TraceDump:
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
-        if data.get("type") == "event":
-            events.append((data["time"], data["kind"], data["detail"]))
-        elif data.get("type") == "span":
-            spans.append(Span.from_dict(data))
-        else:
-            raise ValueError(
-                f"{path}:{lineno}: unknown record type {data.get('type')!r}"
-            )
-    return TraceDump(spans, events)
+            if strict:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            skipped += 1
+            continue
+        try:
+            if data.get("type") == "event":
+                events.append((data["time"], data["kind"], data["detail"]))
+            elif data.get("type") == "span":
+                spans.append(Span.from_dict(data))
+            else:
+                raise KeyError(f"unknown record type {data.get('type')!r}")
+        except (KeyError, TypeError, AttributeError) as exc:
+            if strict:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            skipped += 1
+    return TraceDump(spans, events, skipped_lines=skipped)
 
 
 # -- no-op-friendly helpers for instrumented code ---------------------------

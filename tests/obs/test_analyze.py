@@ -120,3 +120,70 @@ class TestRenderers:
         assert "1 complete requests" in text
         assert "Latency breakdown" in text
         assert "percentiles" in text
+
+
+class TestTruncatedTraces:
+    """A run killed mid-write leaves a torn JSONL tail and unclosed
+    spans; the analyzer must degrade gracefully, not crash."""
+
+    def write_truncated(self, tmp_path):
+        col = TraceCollector()
+        root = col.start_trace("request", node="n0", start=0.0)
+        col.start_span("queue", parent=root, category="queue", start=0.0).close(0.1)
+        root.close(1.0, outcome="exec")
+        path = col.write_jsonl(tmp_path / "trace.jsonl")
+        with path.open("a") as fh:
+            fh.write('{"type": "span", "torn": tru')  # torn mid-token
+        return path
+
+    def test_strict_load_raises(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        with pytest.raises(ValueError, match="not JSON"):
+            load_jsonl(self.write_truncated(tmp_path))
+
+    def test_lenient_load_skips_and_counts(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        dump = load_jsonl(self.write_truncated(tmp_path), strict=False)
+        assert len(dump.spans) == 2
+        assert dump.skipped_lines == 1
+
+    def test_lenient_load_skips_malformed_records(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "span"}\n'            # missing required fields
+            '{"type": "mystery"}\n'         # unknown record type
+            '{"type": "event", "time": 0.0, "kind": "k", "detail": "d"}\n'
+        )
+        with pytest.raises(ValueError):
+            load_jsonl(path)
+        dump = load_jsonl(path, strict=False)
+        assert dump.skipped_lines == 2
+        assert len(dump.events) == 1
+
+    def make_unclosed_dump(self):
+        col = TraceCollector()
+        root = col.start_trace("request", node="n0", start=0.0)
+        col.start_span("queue", parent=root, category="queue", start=0.0)
+        return TraceDump(col.spans, []), root
+
+    def test_all_unclosed_timeline_reports_not_raises(self):
+        dump, root = self.make_unclosed_dump()
+        text = render_timeline(dump, trace_id=root.trace_id)
+        assert "all 2 spans unclosed" in text
+
+    def test_partially_closed_timeline_draws(self):
+        dump, root = make_dump(close_root=False)
+        text = render_timeline(dump, trace_id=root.trace_id)
+        assert "queue" in text
+        assert "open" in text  # unclosed root flagged, not crashed
+
+    def test_report_warns_on_unclosed_and_skipped(self):
+        dump, _ = self.make_unclosed_dump()
+        dump.skipped_lines = 3
+        text = render_trace_report(dump)
+        assert "2 unclosed span(s)" in text
+        assert "3 malformed line(s)" in text

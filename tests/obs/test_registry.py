@@ -124,6 +124,47 @@ class TestRegistry:
         assert json.loads(reg.render_json()) == {}
 
 
+class TestEscaping:
+    """Prometheus exposition escaping: label values and HELP text must
+    survive backslashes, quotes, and newlines without tearing lines."""
+
+    def test_label_value_escapes(self, reg):
+        c = reg.counter("req_total", labelnames=("url",))
+        c.labels(url='a\\b"c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'req_total{url="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_escaped_sample_stays_one_line(self, reg):
+        c = reg.counter("req_total", labelnames=("url",))
+        c.labels(url="line1\nline2").inc()
+        sample_lines = [
+            l for l in reg.render_prometheus().splitlines()
+            if not l.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_distinct_raw_values_stay_distinct(self, reg):
+        c = reg.counter("req_total", labelnames=("url",))
+        c.labels(url="a\nb").inc()
+        c.labels(url="a\\nb").inc(2)
+        text = reg.render_prometheus()
+        assert 'req_total{url="a\\nb"} 1' in text
+        assert 'req_total{url="a\\\\nb"} 2' in text
+
+    def test_help_escapes(self, reg):
+        reg.counter("x_total", "multi\nline \\ help").inc()
+        text = reg.render_prometheus()
+        assert "# HELP x_total multi\\nline \\\\ help" in text
+
+    def test_plain_values_untouched(self, reg):
+        reg.counter("y_total", "The y", labelnames=("node",)).labels(
+            node="n0"
+        ).inc()
+        text = reg.render_prometheus()
+        assert "# HELP y_total The y" in text
+        assert 'y_total{node="n0"} 1' in text
+
+
 class TestAdapters:
     def test_collect_node_stats_from_real_run(self):
         from repro.clients import ClientThread
