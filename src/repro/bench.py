@@ -77,7 +77,7 @@ def bench_event_dispatch(n_events: int = 20_000) -> int:
 def bench_processor_sharing(n_jobs: int = 600) -> int:
     """Reschedule-heavy PS workload (staggered arrivals and overlaps)."""
     sim = Simulator()
-    cpu = ProcessorSharing(sim, ncpus=1)
+    cpu = ProcessorSharing(sim, ncpus=1, name="bench.cpu")
     finished = []
 
     def job(i):

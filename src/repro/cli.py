@@ -56,17 +56,27 @@ def _export(rows, args) -> None:
 @contextmanager
 def _observability(args):
     """Install a run observer when ``--trace-out``/``--metrics-out``/
-    ``--audit-out``/``--timeseries-out`` ask for one; write the collected
-    artifacts once the command finishes."""
+    ``--audit-out``/``--timeseries-out``/``--profile-out`` ask for one;
+    write the collected artifacts once the command finishes."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     audit_out = getattr(args, "audit_out", None)
     timeseries_out = getattr(args, "timeseries_out", None)
-    if not trace_out and not metrics_out and not audit_out and not timeseries_out:
+    profile_out = getattr(args, "profile_out", None)
+    if (
+        not trace_out and not metrics_out and not audit_out
+        and not timeseries_out and not profile_out
+    ):
         yield None
         return
     from .experiments.common import RunObserver, observe_runs
-    from .obs import ConsistencyOracle, MetricsRegistry, TimeSeriesLog, TraceCollector
+    from .obs import (
+        ConsistencyOracle,
+        MetricsRegistry,
+        ResourceProfiler,
+        TimeSeriesLog,
+        TraceCollector,
+    )
 
     observer = RunObserver(
         tracer=TraceCollector() if trace_out else None,
@@ -74,6 +84,7 @@ def _observability(args):
         oracle=ConsistencyOracle() if audit_out else None,
         timeseries=TimeSeriesLog() if timeseries_out else None,
         timeseries_dt=getattr(args, "timeseries_dt", 1.0),
+        profiler=ResourceProfiler() if profile_out else None,
     )
     with observe_runs(observer):
         yield observer
@@ -104,6 +115,15 @@ def _observability(args):
         print(
             f"(timeseries: {len(observer.timeseries.samples)} samples "
             f"written to {timeseries_out})"
+        )
+    if profile_out:
+        observer.profiler.write_json(profile_out)
+        note = ""
+        if observer.profiler.dropped:
+            note = f", {observer.profiler.dropped} probes dropped at capacity"
+        print(
+            f"(profile: {len(observer.profiler.probes)} resources written "
+            f"to {profile_out}{note}; inspect with `repro profile`)"
         )
 
 
@@ -415,6 +435,99 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Bottleneck/utilization report from a ``--profile-out`` file, plus
+    optional flame-graph folding of a span trace."""
+    from .obs import (
+        fold_spans,
+        load_jsonl,
+        load_profile,
+        render_bottlenecks,
+        render_profile_report,
+        render_resources,
+        write_folded,
+    )
+    from .metrics.ascii import flame_chart
+
+    path = Path(args.profilefile)
+    if not path.exists():
+        print(f"error: no such profile file: {path}", file=sys.stderr)
+        return 2
+    try:
+        profile = load_profile(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sections = []
+    wants_specific = args.bottlenecks or args.resources
+    if wants_specific:
+        if args.bottlenecks:
+            sections.append(render_bottlenecks(profile, run=args.run))
+        if args.resources:
+            sections.append(
+                render_resources(
+                    profile, run=args.run, node=args.node, top=args.top
+                )
+            )
+    else:
+        sections.append(
+            render_profile_report(
+                profile, run=args.run, node=args.node, top=args.top
+            )
+        )
+    if args.trace:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            print(f"error: no such trace file: {trace_path}", file=sys.stderr)
+            return 2
+        folded = fold_spans(load_jsonl(trace_path, strict=False))
+        if args.folded_out:
+            out = write_folded(folded, args.folded_out)
+            print(
+                f"(folded stacks written to {out}; feed to flamegraph.pl "
+                "or speedscope)"
+            )
+        sections.append(flame_chart(folded, width=args.width))
+    _emit("\n\n".join(sections), args.output)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    """Compare two observability exports counter by counter."""
+    from .obs import diff_counters, load_counters, render_diff
+
+    base_path, cur_path = Path(args.baseline), Path(args.current)
+    for path in (base_path, cur_path):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+    try:
+        base = load_counters(base_path)
+        current = load_counters(cur_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_counters(
+        base,
+        current,
+        threshold=args.threshold,
+        abs_threshold=args.abs_threshold,
+        ignore=args.ignore or (),
+        only=args.only or (),
+    )
+    _emit(
+        render_diff(
+            deltas,
+            base_label=str(base_path),
+            current_label=str(cur_path),
+            max_rows=args.max_rows,
+        ),
+        args.output,
+    )
+    return 1 if deltas else 0
+
+
 def _cmd_describe_trace(args) -> int:
     path = Path(args.tracefile)
     if not path.exists():
@@ -534,6 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--timeseries-dt", type=float, default=1.0, metavar="SECONDS",
             help="sampling interval for --timeseries-out (default 1.0)",
+        )
+        p.add_argument(
+            "--profile-out",
+            help="probe every simulated resource (CPUs, disks, NICs, "
+            "mailboxes, thread pools, directory locks) and write the "
+            "utilization profile (JSON; inspect with `repro profile`)",
         )
 
     def common(p):
@@ -675,6 +794,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="filter dashboard series by substring")
     p.add_argument("--output", help="also write the report to this file")
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-node bottleneck report and resource utilization tables "
+        "from a file written with --profile-out; optionally fold a span "
+        "trace into a flame graph",
+    )
+    p.add_argument("profilefile")
+    p.add_argument("--run", type=int, default=None,
+                   help="which run to report (default: last)")
+    p.add_argument("--node", metavar="NAME",
+                   help="restrict the resource table to one node")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="show only the N most saturated resources")
+    p.add_argument("--bottlenecks", action="store_true",
+                   help="only the per-node bottleneck table")
+    p.add_argument("--resources", action="store_true",
+                   help="only the full resource table")
+    p.add_argument("--trace", metavar="SPANS",
+                   help="also fold this --trace-out JSONL into a flame graph")
+    p.add_argument("--folded-out", metavar="FILE",
+                   help="write folded stacks (flamegraph.pl/speedscope "
+                   "format); requires --trace")
+    p.add_argument("--width", type=int, default=60,
+                   help="flame-chart bar width in characters")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "diff",
+        help="compare two observability exports (profile/metrics JSON, "
+        "audit/timeseries/trace JSONL) counter by counter; exits 1 on "
+        "drift beyond --threshold",
+    )
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--threshold", type=float, default=0.0, metavar="FRAC",
+                   help="allowed relative change per counter (default 0: "
+                   "any drift fails)")
+    p.add_argument("--abs-threshold", type=float, default=1e-9,
+                   metavar="DELTA",
+                   help="ignore absolute changes at or below this "
+                   "(default 1e-9, swallows float noise)")
+    p.add_argument("--ignore", action="append", metavar="SUBSTR",
+                   help="skip counters whose name contains this (repeatable)")
+    p.add_argument("--only", action="append", metavar="SUBSTR",
+                   help="compare only counters whose name contains this "
+                   "(repeatable)")
+    p.add_argument("--max-rows", type=int, default=50,
+                   help="max drifted counters to print (default 50)")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser("describe-trace", help="summarize a saved trace file")
     p.add_argument("tracefile")

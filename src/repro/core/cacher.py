@@ -89,6 +89,13 @@ class CacherModule:
         #: server's ``attach_oracle``); same zero-cost-when-off contract.
         self.oracle = None
 
+    def attach_profiler(self, profiler) -> None:
+        """Register the directory's RWLocks for contention scraping.
+
+        The locks keep their own counters (they predate the profiler), so
+        no hooks are installed — the profiler reads them at finalize."""
+        profiler.watch_locks(self.name, self.directory.locks())
+
     # -- span helpers (no-ops while no tracer is attached) -------------------
     def _span(self, parent, name: str, category: str):
         if parent is None or self.tracer is None:

@@ -91,6 +91,12 @@ class SwalaCluster:
         for server in self.servers:
             server.attach_oracle(oracle)
 
+    def attach_profiler(self, profiler) -> None:
+        """Probe every node's resources, the LAN, and the directory locks."""
+        self.network.attach_profiler(profiler)
+        for server in self.servers:
+            server.attach_profiler(profiler)
+
     def install_files(self, trace: Trace) -> None:
         """Give every node a copy of the static documents (shared docroot)."""
         for server in self.servers:

@@ -72,6 +72,12 @@ class CacheDirectory:
     def lock(self, node: str) -> RWLock:
         return self._locks[node]
 
+    def locks(self) -> List[RWLock]:
+        """The distinct lock objects, name-ordered (DIRECTORY granularity
+        shares one lock across all tables; dedup by identity)."""
+        unique = {id(l): l for l in self._locks.values()}
+        return sorted(unique.values(), key=lambda l: l.name)
+
     def total_lock_waits(self) -> float:
         locks = set(self._locks.values())
         return sum(l.wait_time for l in locks)

@@ -80,6 +80,10 @@ class SwalaServer(ThreadPoolServer):
         self.oracle = oracle
         self.cacher.oracle = oracle
 
+    def attach_profiler(self, profiler) -> None:
+        super().attach_profiler(profiler)
+        self.cacher.attach_profiler(profiler)
+
     def _request_thread(self, tid: int):
         # Each request thread owns a private reply mailbox for its remote
         # fetches (one outstanding fetch per thread, like one socket each).
@@ -87,8 +91,12 @@ class SwalaServer(ThreadPoolServer):
         reply_box = self.network.register(self.name, reply_port)
         while True:
             msg = yield self.listen_box.get()
+            probe = self._pool_probe
+            started = probe.busy_begin() if probe is not None else 0.0
             yield self.machine.dispatch_thread()
             yield from self.handle(msg.payload, reply_box, reply_port)
+            if probe is not None:
+                probe.busy_end(started)
 
     # -- request path (Figure 2) ---------------------------------------------
     def handle(

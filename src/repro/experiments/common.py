@@ -44,6 +44,7 @@ class RunObserver:
         oracle=None,
         timeseries=None,
         timeseries_dt: float = 1.0,
+        profiler=None,
     ):
         self.tracer = tracer
         self.registry = registry
@@ -53,6 +54,8 @@ class RunObserver:
         #: a sampler daemon is spawned per attached simulation.
         self.timeseries = timeseries
         self.timeseries_dt = timeseries_dt
+        #: Optional :class:`~repro.obs.ResourceProfiler` (``--profile-out``).
+        self.profiler = profiler
         self.targets: list = []
         self._attached: set = set()
         self._collected: set = set()
@@ -76,6 +79,9 @@ class RunObserver:
         if self.oracle is not None and hasattr(target, "attach_oracle"):
             self.oracle.new_run()
             target.attach_oracle(self.oracle)
+        if self.profiler is not None and hasattr(target, "attach_profiler"):
+            self.profiler.new_run()
+            target.attach_profiler(self.profiler)
         if self.timeseries is not None:
             self._start_sampler(target)
 
@@ -104,10 +110,16 @@ class RunObserver:
         sampler.start()
 
     def collect(self, target) -> None:
-        """Scrape a finished server/cluster into the metrics registry."""
-        if self.registry is None or id(target) in self._collected:
+        """Scrape a finished server/cluster into the registry/profiler."""
+        if id(target) in self._collected:
             return
         self._collected.add(id(target))
+        if self.profiler is not None:
+            # Flush integrals up to the run's final sim time; idempotent,
+            # so finalizing earlier (stopped) runs again is harmless.
+            self.profiler.finalize()
+        if self.registry is None:
+            return
         from ..obs import collect_network, collect_node_stats
 
         servers = getattr(target, "servers", None) or [target]

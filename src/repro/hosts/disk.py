@@ -37,6 +37,11 @@ class Disk:
         self.service_times.observe(service)
 
     @property
+    def device(self) -> Resource:
+        """The underlying FCFS device resource (profiler attach point)."""
+        return self._device
+
+    @property
     def queue_length(self) -> int:
         return self._device.queue_length
 

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "series_chart", "sparkline"]
+__all__ = ["bar_chart", "flame_chart", "series_chart", "sparkline"]
 
 #: Eighth-block glyphs used by :func:`sparkline`, lowest to highest.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
@@ -60,6 +60,78 @@ def bar_chart(
         lines.append(
             f"{label.ljust(label_w)} | {'#' * n:<{width}} {value:.4g}{unit}"
         )
+    return "\n".join(lines)
+
+
+def flame_chart(
+    folded: Dict[str, float],
+    width: int = 60,
+    min_share: float = 0.01,
+) -> str:
+    """In-terminal flame graph from folded stacks (see ``obs.flame``).
+
+    Each frame renders as an indented row whose bar length is its
+    *subtree* share of the grand total (self + descendants), so parents
+    are always at least as wide as their children::
+
+        == Flame (total 1.234s) ==
+        miss                 ████████████████████████  62.1%  0.766s
+          request            ████████████████████████  62.1%  0.766s
+            execute          ████████████████          41.5%  0.512s
+
+    Frames below ``min_share`` of the total are pruned (with an ellipsis
+    row noting how many).
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    # Build the frame tree: node = [self_time, {child_name: node}].
+    root: List = [0.0, {}]
+    for stack, seconds in folded.items():
+        node = root
+        for frame in stack.split(";"):
+            node = node[1].setdefault(frame, [0.0, {}])
+        node[0] += seconds
+
+    def subtree_total(node: List) -> float:
+        return node[0] + sum(subtree_total(c) for c in node[1].values())
+
+    grand = subtree_total(root)
+    if grand <= 0:
+        return "(no samples)"
+    lines = [f"== Flame (total {grand:.4g}s) =="]
+    pruned = 0
+
+    def depth_of(node: List, depth: int) -> int:
+        kids = node[1].values()
+        return max([depth] + [depth_of(c, depth + 1) for c in kids])
+
+    label_w = 0
+    rows: List[Tuple[str, float]] = []
+
+    def walk(node: List, depth: int) -> None:
+        nonlocal pruned
+        ordered = sorted(
+            node[1].items(), key=lambda kv: (-subtree_total(kv[1]), kv[0])
+        )
+        for name, child in ordered:
+            total = subtree_total(child)
+            if total / grand < min_share:
+                pruned += 1
+                continue
+            rows.append(("  " * depth + name, total))
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    label_w = max((len(label) for label, _ in rows), default=1)
+    for label, total in rows:
+        share = total / grand
+        bar = "█" * max(1, int(round(share * width)))
+        lines.append(
+            f"{label.ljust(label_w)}  {bar.ljust(width)}  "
+            f"{100.0 * share:5.1f}%  {total:.4g}s"
+        )
+    if pruned:
+        lines.append(f"… {pruned} frame(s) under {100.0 * min_share:g}% pruned")
     return "\n".join(lines)
 
 

@@ -87,19 +87,38 @@ class Network:
         #: never reaches an update receiver, so nobody else can); one
         #: ``is None`` check on the loss path, nothing on delivery.
         self.oracle = None
+        #: Optional :class:`~repro.obs.ResourceProfiler`.  Kept as an
+        #: attribute (not just probed once) because NICs and mailboxes
+        #: are created lazily — late :meth:`attach`/:meth:`register`
+        #: calls must instrument their new resources too.
+        self.profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Probe every NIC and port mailbox, present and future."""
+        self.profiler = profiler
+        for nic in self._nics.values():
+            profiler.instrument(nic)
+        for mailbox in self._ports.values():
+            profiler.instrument(mailbox)
 
     # -- topology -----------------------------------------------------------
     def attach(self, host: str) -> None:
         """Give ``host`` a NIC (idempotent)."""
         if host not in self._nics:
-            self._nics[host] = Resource(self.sim, capacity=1, name=f"{host}.nic")
+            nic = Resource(self.sim, capacity=1, name=f"{host}.nic")
+            self._nics[host] = nic
+            if self.profiler is not None:
+                self.profiler.instrument(nic)
 
     def register(self, host: str, port: str) -> Store:
         """Open a mailbox for ``port`` on ``host`` and return it."""
         self.attach(host)
         key = (host, port)
         if key not in self._ports:
-            self._ports[key] = Store(self.sim, name=f"{host}:{port}")
+            mailbox = Store(self.sim, name=f"{host}:{port}")
+            self._ports[key] = mailbox
+            if self.profiler is not None:
+                self.profiler.instrument(mailbox)
         return self._ports[key]
 
     def mailbox(self, host: str, port: str) -> Store:

@@ -15,6 +15,14 @@ from .analyze import (
     render_trace_report,
     request_records,
 )
+from .diff import (
+    CounterDelta,
+    diff_counters,
+    flatten_json,
+    load_counters,
+    render_diff,
+)
+from .flame import fold_spans, render_folded, write_folded
 from .oracle import (
     AUDIT_CLASSES,
     AuditDump,
@@ -25,6 +33,17 @@ from .oracle import (
     render_audit_report,
     render_staleness,
     render_taxonomy,
+)
+from .profiler import (
+    ResourceProbe,
+    ResourceProfiler,
+    little_check,
+    load_profile,
+    node_of,
+    render_bottlenecks,
+    render_locks,
+    render_profile_report,
+    render_resources,
 )
 from .timeseries import (
     TimeSeriesLog,
@@ -90,4 +109,21 @@ __all__ = [
     "TimeSeriesSampler",
     "load_timeseries",
     "render_timeseries_dashboard",
+    "ResourceProbe",
+    "ResourceProfiler",
+    "load_profile",
+    "little_check",
+    "node_of",
+    "render_bottlenecks",
+    "render_locks",
+    "render_resources",
+    "render_profile_report",
+    "fold_spans",
+    "render_folded",
+    "write_folded",
+    "CounterDelta",
+    "load_counters",
+    "flatten_json",
+    "diff_counters",
+    "render_diff",
 ]

@@ -61,6 +61,9 @@ class BaseServer:
         #: Optional :class:`~repro.obs.TraceCollector`; ``None`` => tracing
         #: off and the request path pays only ``is None`` checks.
         self.tracer = None
+        #: Optional :class:`~repro.obs.ResourceProfiler`; attached via
+        #: :meth:`attach_profiler`, same ``is None`` discipline.
+        self.profiler = None
         self._started = False
 
     def enable_access_log(self) -> "AccessLog":
@@ -74,6 +77,11 @@ class BaseServer:
     def attach_tracer(self, collector) -> None:
         """Collect per-request spans into ``collector`` from now on."""
         self.tracer = collector
+
+    def attach_profiler(self, profiler) -> None:
+        """Probe this node's machine resources (CPU bank + disk)."""
+        self.profiler = profiler
+        self.machine.attach_profiler(profiler)
 
     # -- span helpers (no-ops while no tracer is attached) -------------------
     def _trace_request(self, conn: HttpConnection):

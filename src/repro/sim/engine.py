@@ -398,7 +398,10 @@ def _stop_simulation(event: Event) -> None:
 class Simulator:
     """The event loop: a priority queue of ``(time, prio, seq, event)``."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_ticks", "_active_process", "step_hooks")
+    __slots__ = (
+        "_now", "_queue", "_seq", "_ticks", "_active_process", "step_hooks",
+        "_anon",
+    )
 
     def __init__(self):
         self._now: float = 0.0
@@ -409,6 +412,8 @@ class Simulator:
         #: Callables invoked as ``hook(time, event)`` after each processed
         #: event — observability taps (see :mod:`repro.sim.probes`).
         self.step_hooks: list = []
+        #: Per-prefix counters behind :meth:`autoname`.
+        self._anon: dict = {}
 
     # -- clock ----------------------------------------------------------
     @property
@@ -432,6 +437,26 @@ class Simulator:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    def current_label(self) -> str:
+        """Name of the running process, or ``""`` in callback context.
+
+        Provenance hook for the resource profiler: acquisitions made from
+        timeout callbacks (the network fast path) have no active process.
+        """
+        process = self._active_process
+        return process.name if process is not None else ""
+
+    def autoname(self, prefix: str) -> str:
+        """A fresh ``prefix<N>`` name, deterministic in construction order.
+
+        Used by the resource primitives so that nothing ends up with an
+        empty name — profiler keys and ``__repr__`` stay useful even for
+        ad-hoc resources built without an owner-qualified name.
+        """
+        n = self._anon.get(prefix, 0)
+        self._anon[prefix] = n + 1
+        return f"{prefix}{n}"
 
     # -- event factories --------------------------------------------------
     def event(self) -> Event:

@@ -69,6 +69,29 @@ class Tally:
         frac = pos - lo
         return data[lo] * (1 - frac) + data[hi] * frac
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary: NaN fields (empty tally) become ``None``.
+
+        ``json.dumps`` would happily emit bare ``NaN`` tokens, which are
+        not valid JSON and break strict loaders — the profiler exports go
+        through this instead.
+        """
+        def _num(value: float):
+            return None if value != value else value
+
+        out = {
+            "count": self.count,
+            "total": self.total,
+            "mean": _num(self.mean),
+            "stdev": _num(self.stdev),
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+        }
+        if self.keep_samples:
+            out["p50"] = _num(self.percentile(50))
+            out["p99"] = _num(self.percentile(99))
+        return out
+
     def merge(self, other: "Tally") -> None:
         """Fold another tally into this one (parallel-merge of Welford state)."""
         if other.count == 0:

@@ -47,9 +47,12 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
-        self.name = name
+        self.name = name or sim.autoname("res")
         self._users: set = set()
         self._queue: Deque[Request] = deque()
+        #: Optional :class:`repro.obs.profiler.ResourceProbe`; ``None``
+        #: keeps every operation on the exact pre-profiler code path.
+        self.probe = None
 
     @property
     def count(self) -> int:
@@ -65,8 +68,12 @@ class Resource:
         if len(self._users) < self.capacity:
             self._users.add(req)
             req.succeed()
+            if self.probe is not None:
+                self.probe.acquire(req)
         else:
             self._queue.append(req)
+            if self.probe is not None:
+                self.probe.enqueue(req)
         return req
 
     def try_acquire(self) -> Optional[object]:
@@ -83,15 +90,21 @@ class Resource:
         if len(self._users) < self.capacity and not self._queue:
             token = object()
             self._users.add(token)
+            if self.probe is not None:
+                self.probe.acquire(token)
             return token
         return None
 
     def release(self, request: Request) -> None:
         if request in self._users:
             self._users.remove(request)
+            if self.probe is not None:
+                self.probe.release(request)
         elif request in self._queue:
             # Released while still waiting (cancellation).
             self._queue.remove(request)
+            if self.probe is not None:
+                self.probe.cancel(request)
             return
         else:
             raise RuntimeError(f"{request!r} does not hold {self.name or self!r}")
@@ -99,6 +112,8 @@ class Resource:
             nxt = self._queue.popleft()
             self._users.add(nxt)
             nxt.succeed()
+            if self.probe is not None:
+                self.probe.grant(nxt)
 
     def __repr__(self) -> str:
         return (
@@ -112,9 +127,11 @@ class Store:
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
-        self.name = name
+        self.name = name or sim.autoname("store")
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        #: Optional :class:`repro.obs.profiler.ResourceProbe`.
+        self.probe = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -122,23 +139,35 @@ class Store:
     def put(self, item: Any) -> None:
         """Deposit an item, waking the oldest waiting getter if any."""
         if self._getters:
-            self._getters.popleft().succeed(item)
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            if self.probe is not None:
+                self.probe.wake(getter)
         else:
             self._items.append(item)
+            if self.probe is not None:
+                self.probe.deposit()
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
         event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())
+            if self.probe is not None:
+                self.probe.take()
         else:
             self._getters.append(event)
+            if self.probe is not None:
+                self.probe.enqueue_getter(event)
         return event
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking get; ``None`` when empty."""
         if self._items:
-            return self._items.popleft()
+            item = self._items.popleft()
+            if self.probe is not None:
+                self.probe.take()
+            return item
         return None
 
     def cancel(self, get_event: Event) -> bool:
@@ -149,6 +178,8 @@ class Store:
         """
         try:
             self._getters.remove(get_event)
+            if self.probe is not None:
+                self.probe.cancel_getter(get_event)
             return True
         except ValueError:
             return False
@@ -199,6 +230,10 @@ class ProcessorSharing:
         self._unit_weights = True
         self.busy_time = 0.0  # integral of utilised CPU-seconds
         self.total_demand_served = 0.0
+        #: Optional :class:`repro.obs.profiler.ResourceProbe`.
+        self.probe = None
+        if not name:
+            self.name = sim.autoname("cpu")
 
     # -- public API -------------------------------------------------------
     @property
@@ -207,12 +242,45 @@ class ProcessorSharing:
         return len(self._jobs)
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
-        """Mean fraction of CPU capacity in use since time zero."""
+        """Mean fraction of CPU capacity in use since time zero.
+
+        Includes in-flight busy time up to ``sim.now`` via
+        :meth:`projected_busy_time`, so mid-run reads are exact — and the
+        read is *pure*: observing utilization never advances the schedule,
+        completes jobs, or fires events.
+        """
         horizon = elapsed if elapsed is not None else self.sim.now
         if horizon <= 0:
             return 0.0
-        self._advance()
-        return self.busy_time / (horizon * self.ncpus)
+        return self.projected_busy_time() / (horizon * self.ncpus)
+
+    def projected_busy_time(self) -> float:
+        """``busy_time`` including un-committed progress up to ``sim.now``.
+
+        Performs the same float operations in the same order as
+        :meth:`_advance` (so the projection is bit-identical to what the
+        next real advance will commit) but mutates nothing: no job state,
+        no events, no ``_last_advance``.
+        """
+        dt = self.sim.now - self._last_advance
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
+            return self.busy_time
+        served = 0.0
+        if self._unit_weights:
+            factor = min(1.0, self.ncpus / float(len(jobs)))
+            quantum = dt * factor
+            for job in jobs.values():
+                served += quantum if quantum <= job.remaining else job.remaining
+        else:
+            total_weight = self._total_weight()
+            factor = min(1.0, self.ncpus / total_weight)
+            for job in jobs.values():
+                progress = dt * (factor * job.weight)
+                if progress > job.remaining:
+                    progress = job.remaining
+                served += progress
+        return self.busy_time + served
 
     def execute(self, demand: float, weight: float = 1.0) -> Event:
         """Submit ``demand`` CPU-seconds of work; the event fires when done.
@@ -234,6 +302,8 @@ class ProcessorSharing:
         job = Job(demand, done, self.sim.now, weight)
         self._jobs[self._next_id] = job
         self._next_id += 1
+        if self.probe is not None:
+            self.probe.ps_submit(job)
         self._reschedule()
         return done
 
@@ -293,9 +363,12 @@ class ProcessorSharing:
         self.busy_time += served
         self.total_demand_served += served
         if finished is not None:
+            probe = self.probe
             for jid in finished:
                 job = jobs.pop(jid)
                 job.done.succeed(now - job.start_time)
+                if probe is not None:
+                    probe.ps_complete(job, now)
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the earliest projected completion."""

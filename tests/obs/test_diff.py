@@ -1,0 +1,184 @@
+"""Tests for the run-diff tool (obs.diff) and its CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import diff_counters, flatten_json, load_counters, render_diff
+
+
+# -- flattening --------------------------------------------------------------
+
+def test_flatten_json_paths():
+    flat = flatten_json({
+        "a": 1,
+        "b": {"c": 2.5, "skip": "text", "flag": True},
+        "d": [10, {"e": 20}],
+    })
+    assert flat == {"a": 1.0, "b.c": 2.5, "d[0]": 10.0, "d[1].e": 20.0}
+
+
+def test_load_counters_profile_keyed_by_name(tmp_path):
+    profile = {
+        "version": 1,
+        "runs": 1,
+        "dropped": 2,
+        "resources": [
+            {"run": 1, "name": "n0.cpu", "requests": 4,
+             "wait": {"mean": 0.5}, "kind": "cpu"},
+        ],
+        "locks": [
+            {"run": 1, "node": "n0", "name": "n0.dir",
+             "contended": 3, "wait_time": 0.25},
+        ],
+    }
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps(profile))
+    counters = load_counters(path)
+    assert counters["resource.1.n0.cpu.requests"] == 4.0
+    assert counters["resource.1.n0.cpu.wait.mean"] == 0.5
+    assert counters["lock.1.n0.n0.dir.contended"] == 3.0
+    assert counters["dropped"] == 2.0
+    # "kind" is a string leaf: skipped, not flattened.
+    assert not any("kind" in name for name in counters)
+
+
+def test_load_counters_audit_jsonl(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    path.write_text(
+        '{"class": "stale", "wasted": 1.5}\n'
+        '{"class": "stale", "wasted": 0.5}\n'
+        '{"class": "redundant"}\n'
+    )
+    counters = load_counters(path)
+    assert counters == {
+        "class.stale": 2.0,
+        "class.redundant": 1.0,
+        "audits": 3.0,
+        "wasted_seconds": 2.0,
+    }
+
+
+def test_load_counters_timeseries_and_spans(tmp_path):
+    ts = tmp_path / "ts.jsonl"
+    ts.write_text(
+        '{"series": {"x": 1}}\n'
+        '{"series": {"x": 7, "y": 2}}\n'
+    )
+    counters = load_counters(ts)
+    assert counters == {"series.x": 7.0, "series.y": 2.0, "samples": 2.0}
+
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text(
+        '{"type": "span", "category": "cpu", "start": 1.0, "end": 3.0}\n'
+        '{"type": "span", "category": "cpu", "start": 0.0, "end": 0.5}\n'
+        '{"type": "span", "category": "network", "start": 0.0}\n'
+        '{"type": "event"}\n'
+    )
+    counters = load_counters(trace)
+    assert counters["spans"] == 3.0
+    assert counters["span_seconds.cpu"] == pytest.approx(2.5)
+    assert "span_seconds.network" not in counters  # unclosed span
+    assert counters["other_records"] == 1.0
+
+
+# -- diffing -----------------------------------------------------------------
+
+def test_diff_counters_thresholds():
+    base = {"a": 100.0, "b": 1.0, "c": 5.0, "zero": 0.0}
+    cur = {"a": 101.0, "b": 1.0 + 5e-10, "c": 5.0, "zero": 0.1, "new": 3.0}
+    deltas = diff_counters(base, cur)
+    by_name = {d.name: d for d in deltas}
+    # b's |delta| is under abs_threshold; c is unchanged.
+    assert set(by_name) == {"a", "zero", "new"}
+    assert by_name["new"].status == "added"
+    assert by_name["zero"].relative == float("inf")
+    assert by_name["a"].relative == pytest.approx(0.01)
+    # A 2% relative threshold forgives a's 1% drift.
+    names = {d.name for d in diff_counters(base, cur, threshold=0.02)}
+    assert names == {"zero", "new"}
+
+
+def test_diff_counters_removed_and_filters():
+    base = {"keep.x": 1.0, "drop.y": 2.0, "noise.z": 3.0}
+    cur = {"keep.x": 2.0, "noise.z": 30.0}
+    deltas = diff_counters(base, cur, ignore=["noise"])
+    assert {(d.name, d.status) for d in deltas} == {
+        ("keep.x", "changed"), ("drop.y", "removed")
+    }
+    deltas = diff_counters(base, cur, only=["keep"])
+    assert [d.name for d in deltas] == ["keep.x"]
+
+
+def test_diff_sorted_by_relative_magnitude():
+    base = {"small": 10.0, "big": 10.0}
+    cur = {"small": 11.0, "big": 20.0}
+    deltas = diff_counters(base, cur)
+    assert [d.name for d in deltas] == ["big", "small"]
+
+
+def test_render_diff():
+    assert render_diff([], "a.json", "b.json") == "no drift: b.json matches a.json"
+    deltas = diff_counters({"x": 1.0}, {"x": 2.0, "y": 5.0})
+    text = render_diff(deltas, "base", "cur")
+    assert "2 counter(s) drifted" in text
+    assert "x" in text and "100.00%" in text
+    assert "(new)" in text
+    # Row cap.
+    many = diff_counters({}, {f"c{i}": 1.0 for i in range(60)})
+    text = render_diff(many, max_rows=50)
+    assert "... and 10 more" in text
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def write_profile(path, requests):
+    json.dump(
+        {
+            "version": 1,
+            "runs": 1,
+            "dropped": 0,
+            "resources": [{"run": 1, "name": "n0.cpu", "requests": requests}],
+            "locks": [],
+        },
+        path.open("w"),
+    )
+
+
+def test_cli_diff_exit_codes(tmp_path, capsys):
+    base, same, drifted = (
+        tmp_path / "base.json", tmp_path / "same.json", tmp_path / "cur.json"
+    )
+    write_profile(base, 10)
+    write_profile(same, 10)
+    write_profile(drifted, 13)
+
+    assert main(["diff", str(base), str(same)]) == 0
+    assert "no drift" in capsys.readouterr().out
+
+    assert main(["diff", str(base), str(drifted)]) == 1
+    out = capsys.readouterr().out
+    assert "resource.1.n0.cpu.requests" in out and "10 -> 13" in out
+
+    # A generous threshold forgives the 30% drift.
+    assert main(["diff", str(base), str(drifted), "--threshold", "0.5"]) == 0
+    capsys.readouterr()
+
+    # Missing / malformed files: exit 2.
+    assert main(["diff", str(base), str(tmp_path / "nope.json")]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["diff", str(base), str(bad)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_diff_ignore_and_output(tmp_path, capsys):
+    base, cur = tmp_path / "b.json", tmp_path / "c.json"
+    write_profile(base, 10)
+    write_profile(cur, 13)
+    assert main(["diff", str(base), str(cur), "--ignore", "requests"]) == 0
+    capsys.readouterr()
+    out_file = tmp_path / "report.txt"
+    assert main(["diff", str(base), str(cur), "--output", str(out_file)]) == 1
+    assert "requests" in out_file.read_text()

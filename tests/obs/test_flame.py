@@ -1,0 +1,116 @@
+"""Tests for folded-stack flame output (obs.flame + metrics.ascii)."""
+
+import pytest
+
+from repro.metrics.ascii import flame_chart
+from repro.obs import fold_spans, render_folded, write_folded
+from repro.obs.flame import frame_name
+from repro.obs.trace import Span, TraceDump
+
+
+def make_span(trace_id, span_id, parent_id, name, start, end=None, **attrs):
+    span = Span(trace_id, span_id, parent_id, name, "n0", "other", start, 0, attrs)
+    if end is not None:
+        span.close(end)
+    return span
+
+
+def test_frame_name_collapses_hops():
+    assert frame_name(make_span(1, 1, None, "hop:swala0->swala1", 0, 1)) == "hop"
+    assert frame_name(make_span(1, 1, None, "execute", 0, 1)) == "execute"
+
+
+def test_fold_spans_self_time_attribution():
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 10.0, outcome="exec"),
+        make_span(1, 2, 1, "execute", 2.0, 8.0),
+        make_span(1, 3, 1, "send", 8.0, 9.0),
+        make_span(1, 4, 3, "hop:a->b", 8.2, 8.5),
+    ]
+    folded = fold_spans(TraceDump(spans, []))
+    assert folded == pytest.approx({
+        "miss;request": 3.0,          # 10 - (6 + 1)
+        "miss;request;execute": 6.0,
+        "miss;request;send": 0.7,     # 1 - 0.3
+        "miss;request;send;hop": 0.3,
+    })
+
+
+def test_fold_spans_outcome_taxonomy_roots():
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 1.0, outcome="local-cache"),
+        make_span(2, 2, None, "request", 0.0, 1.0, outcome="remote-cache"),
+        make_span(3, 3, None, "request", 0.0, 1.0,
+                  outcome="exec", false_hit_retries=1),
+    ]
+    folded = fold_spans(TraceDump(spans, []))
+    assert set(folded) == {
+        "local-hit;request", "remote-hit;request", "false-hit;request"
+    }
+
+
+def test_fold_spans_skips_unclosed():
+    spans = [
+        # Unclosed root: whole trace contributes nothing.
+        make_span(1, 1, None, "request", 0.0, None, outcome="exec"),
+        make_span(1, 2, 1, "execute", 0.0, 1.0),
+        # Closed root with an unclosed child: the child is ignored, so
+        # the root keeps its full duration as self time.
+        make_span(2, 3, None, "request", 0.0, 4.0, outcome="exec"),
+        make_span(2, 4, 3, "execute", 1.0, None),
+    ]
+    folded = fold_spans(TraceDump(spans, []))
+    assert folded == {"miss;request": 4.0}
+
+
+def test_fold_spans_concurrent_children_never_negative():
+    # Children oversum the parent (overlapping callbacks): parent self
+    # time is clamped out rather than recorded negative.
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 2.0, outcome="exec"),
+        make_span(1, 2, 1, "a", 0.0, 2.0),
+        make_span(1, 3, 1, "b", 0.0, 2.0),
+    ]
+    folded = fold_spans(TraceDump(spans, []))
+    assert "miss;request" not in folded
+    assert folded["miss;request;a"] == pytest.approx(2.0)
+
+
+def test_render_folded_microseconds_and_ordering(tmp_path):
+    folded = {
+        "miss;request;execute": 2.5,
+        "miss;request": 0.0000004,   # rounds to 0 µs -> dropped
+        "hit;request": 1.0,
+    }
+    text = render_folded(folded)
+    assert text == "hit;request 1000000\nmiss;request;execute 2500000\n"
+    assert render_folded({}) == ""
+    path = write_folded(folded, tmp_path / "out" / "stacks.folded")
+    assert path.read_text() == text
+
+
+def test_flame_chart_layout_and_pruning():
+    folded = {
+        "miss;request": 3.0,
+        "miss;request;execute": 6.0,
+        "miss;request;send": 1.0,
+        "rare;request": 0.005,  # < 1% of ~10s -> pruned
+    }
+    chart = flame_chart(folded, width=20)
+    assert chart.startswith("== Flame (total 10.01s) ==")
+    lines = chart.splitlines()
+    # Frames indent by depth and sort by subtree share.
+    assert any(l.startswith("miss") for l in lines)
+    assert any(l.startswith("  request") for l in lines)
+    assert any(l.startswith("    execute") for l in lines)
+    assert "rare" not in chart
+    assert "pruned" in chart
+    # The top frame's bar spans the full width.
+    miss_row = next(l for l in lines if l.startswith("miss"))
+    assert "█" * 20 in miss_row
+
+
+def test_flame_chart_empty_and_bad_width():
+    assert flame_chart({}) == "(no samples)"
+    with pytest.raises(ValueError):
+        flame_chart({"a": 1.0}, width=0)

@@ -284,6 +284,52 @@ class TestProcessorSharing:
         sim.run()
         assert cpu.utilization() == pytest.approx(3.0 / 4.0)
 
+    def test_utilization_midrun_read_is_pure(self, sim):
+        """Observing utilization mid-run must not advance the schedule,
+        mutate job state, or change the simulation outcome."""
+        cpu = ProcessorSharing(sim, ncpus=1)
+        readings = []
+        done = []
+
+        def worker():
+            yield cpu.execute(2.0)
+            done.append(sim.now)
+
+        def observer():
+            yield sim.timeout(1.0)
+            job = next(iter(cpu._jobs.values()))
+            before = (job.remaining, cpu._last_advance, cpu.busy_time)
+            readings.append(cpu.utilization())
+            readings.append(cpu.projected_busy_time())
+            # Pure read: committed state untouched.
+            assert (job.remaining, cpu._last_advance, cpu.busy_time) == before
+
+        sim.process(worker())
+        sim.process(observer())
+        sim.run()
+        # The mid-run reading saw the in-flight busy second exactly.
+        assert readings == [pytest.approx(1.0), pytest.approx(1.0)]
+        assert done == [pytest.approx(2.0)]
+
+    def test_utilization_weighted_midrun_projection(self, sim):
+        cpu = ProcessorSharing(sim, ncpus=1)
+        readings = []
+
+        def worker(demand, weight):
+            yield cpu.execute(demand, weight=weight)
+
+        def observer():
+            yield sim.timeout(2.0)
+            readings.append(cpu.projected_busy_time())
+
+        sim.process(worker(3.0, 3.0))
+        sim.process(worker(1.0, 1.0))
+        sim.process(observer())
+        sim.run()
+        # Both jobs busy the single CPU continuously through t=2.
+        assert readings == [pytest.approx(2.0)]
+        assert cpu.busy_time == pytest.approx(4.0)
+
     def test_load_counts_active_jobs(self, sim):
         cpu = ProcessorSharing(sim, ncpus=1)
         observed = []

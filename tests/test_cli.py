@@ -249,6 +249,100 @@ class TestTracing:
         assert "remote-hit" in out
 
 
+class TestProfiling:
+    @pytest.fixture
+    def profile_files(self, capsys, tmp_path):
+        """Run a small cooperative cluster with --profile-out/--trace-out."""
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = cooperative\ncapacity = 40\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(60, 12, seed=3), trace)
+        profile = tmp_path / "out" / "profile.json"
+        spans = tmp_path / "out" / "spans.jsonl"
+        rc = main(["run-config", str(conf), "--trace", str(trace),
+                   "--nodes", "2", "--clients", "4",
+                   "--profile-out", str(profile), "--trace-out", str(spans)])
+        assert rc == 0
+        capsys.readouterr()
+        return profile, spans
+
+    def test_profile_default_report(self, capsys, profile_files):
+        profile, _ = profile_files
+        rc = main(["profile", str(profile)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-node bottlenecks" in out
+        assert "ρ=λ·W" in out
+        assert "Resources" in out
+        assert "swala0" in out
+
+    def test_profile_bottlenecks_only_and_top(self, capsys, profile_files):
+        profile, _ = profile_files
+        rc = main(["profile", str(profile), "--bottlenecks"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-node bottlenecks" in out
+        assert "Resources (run" not in out
+        rc = main(["profile", str(profile), "--resources", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "omitted" in out
+
+    def test_profile_flame_from_trace(self, capsys, profile_files, tmp_path):
+        profile, spans = profile_files
+        folded = tmp_path / "stacks.folded"
+        rc = main(["profile", str(profile), "--trace", str(spans),
+                   "--folded-out", str(folded)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== Flame" in out
+        text = folded.read_text()
+        # Folded stacks root at the outcome taxonomy with µs counts.
+        assert ";request" in text
+        assert text.splitlines()[0].rsplit(" ", 1)[1].isdigit()
+
+    def test_profile_missing_and_garbage_files(self, capsys, tmp_path):
+        rc = main(["profile", "/nonexistent.json"])
+        assert rc == 2
+        assert "no such profile file" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a profile"}')
+        rc = main(["profile", str(bad)])
+        assert rc == 2
+        assert "not a profiler export" in capsys.readouterr().err
+
+    def test_profile_out_deterministic(self, capsys, tmp_path):
+        from repro.workload import save_trace, zipf_cgi_trace
+
+        conf = tmp_path / "swala.conf"
+        conf.write_text("[cache]\nmode = cooperative\n")
+        trace = tmp_path / "t.jsonl"
+        save_trace(zipf_cgi_trace(40, 10, seed=5), trace)
+
+        def run(tag):
+            import itertools
+
+            from repro.clients import client as client_mod
+            from repro.core import server as server_mod
+
+            # Pin the process-global name counters so resource names
+            # (not just numbers) repeat across in-process runs.
+            client_mod._client_ids = itertools.count()
+            server_mod._adhoc_ports = itertools.count()
+            out = tmp_path / f"profile-{tag}.json"
+            rc = main(["run-config", str(conf), "--trace", str(trace),
+                       "--nodes", "2", "--clients", "4",
+                       "--profile-out", str(out)])
+            assert rc == 0
+            return out.read_bytes()
+
+        first, second = run("a"), run("b")
+        capsys.readouterr()
+        assert first == second
+
+
 class TestBenchCompare:
     """The `repro bench --compare` gate against a committed snapshot."""
 
