@@ -40,9 +40,16 @@ __all__ = ["main", "build_parser"]
 
 
 def _emit(text: str, output: Optional[str]) -> None:
-    print(text)
+    try:
+        print(text)
+    except UnicodeEncodeError:
+        # ASCII-only stdout (PYTHONIOENCODING=ascii, LANG=C pipes): degrade
+        # residual glyphs rather than crash the report; --output files are
+        # always written UTF-8 below, losslessly.
+        encoding = getattr(sys.stdout, "encoding", None) or "ascii"
+        print(text.encode(encoding, "replace").decode(encoding))
     if output:
-        Path(output).write_text(text + "\n")
+        Path(output).write_text(text + "\n", encoding="utf-8")
 
 
 def _export(rows, args) -> None:
@@ -56,16 +63,18 @@ def _export(rows, args) -> None:
 @contextmanager
 def _observability(args):
     """Install a run observer when ``--trace-out``/``--metrics-out``/
-    ``--audit-out``/``--timeseries-out``/``--profile-out`` ask for one;
-    write the collected artifacts once the command finishes."""
+    ``--audit-out``/``--timeseries-out``/``--profile-out``/
+    ``--critical-out`` ask for one; write the collected artifacts once
+    the command finishes."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     audit_out = getattr(args, "audit_out", None)
     timeseries_out = getattr(args, "timeseries_out", None)
     profile_out = getattr(args, "profile_out", None)
+    critical_out = getattr(args, "critical_out", None)
     if (
         not trace_out and not metrics_out and not audit_out
-        and not timeseries_out and not profile_out
+        and not timeseries_out and not profile_out and not critical_out
     ):
         yield None
         return
@@ -78,13 +87,21 @@ def _observability(args):
         TraceCollector,
     )
 
+    # --critical-out needs the span tree AND span-linked resource
+    # intervals; --profile-out alone keeps interval recording off so its
+    # export stays byte-compatible with committed baselines.
+    profiler = None
+    if critical_out:
+        profiler = ResourceProfiler(record_intervals=True)
+    elif profile_out:
+        profiler = ResourceProfiler()
     observer = RunObserver(
-        tracer=TraceCollector() if trace_out else None,
+        tracer=TraceCollector() if (trace_out or critical_out) else None,
         registry=MetricsRegistry() if metrics_out else None,
         oracle=ConsistencyOracle() if audit_out else None,
         timeseries=TimeSeriesLog() if timeseries_out else None,
         timeseries_dt=getattr(args, "timeseries_dt", 1.0),
-        profiler=ResourceProfiler() if profile_out else None,
+        profiler=profiler,
     )
     with observe_runs(observer):
         yield observer
@@ -124,6 +141,21 @@ def _observability(args):
         print(
             f"(profile: {len(observer.profiler.probes)} resources written "
             f"to {profile_out}{note}; inspect with `repro profile`)"
+        )
+    if critical_out:
+        from .obs import aggregate_blame, write_critical
+
+        records = observer.critical_records()
+        write_critical(aggregate_blame(records), critical_out)
+        note = ""
+        if observer.profiler.intervals_dropped:
+            note = (
+                f", {observer.profiler.intervals_dropped} intervals "
+                "dropped at capacity"
+            )
+        print(
+            f"(critical: {len(records)} requests decomposed into "
+            f"{critical_out}{note}; inspect with `repro critical`)"
         )
 
 
@@ -528,6 +560,146 @@ def _cmd_diff(args) -> int:
     return 1 if deltas else 0
 
 
+def _cmd_critical(args) -> int:
+    """Render the critical-path blame report from a ``--critical-out``
+    aggregate (or recompute it from raw trace + profile exports)."""
+    from .obs import (
+        aggregate_blame,
+        decompose,
+        load_critical,
+        load_jsonl,
+        load_profile,
+        render_by_outcome,
+        render_critical_report,
+        render_segments,
+        write_critical,
+    )
+
+    if args.criticalfile:
+        path = Path(args.criticalfile)
+        if not path.exists():
+            print(f"error: no such critical file: {path}", file=sys.stderr)
+            return 2
+        try:
+            data = load_critical(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.trace:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            print(f"error: no such trace file: {trace_path}", file=sys.stderr)
+            return 2
+        intervals = None
+        if args.profile:
+            profile_path = Path(args.profile)
+            if not profile_path.exists():
+                print(
+                    f"error: no such profile file: {profile_path}",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                intervals = load_profile(profile_path).get("intervals")
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        records = decompose(load_jsonl(trace_path, strict=False), intervals)
+        data = aggregate_blame(records)
+        if args.export:
+            write_critical(data, args.export)
+            print(f"(critical aggregate exported to {args.export})")
+    else:
+        print(
+            "error: give a --critical-out file or --trace (with optional "
+            "--profile)",
+            file=sys.stderr,
+        )
+        return 2
+
+    sections = []
+    wants_specific = args.segments or args.by_outcome
+    if wants_specific:
+        if args.segments:
+            sections.append(render_segments(data))
+        if args.by_outcome:
+            outcome = render_by_outcome(data)
+            sections.append(outcome or "(no complete request traces)")
+    else:
+        sections.append(render_critical_report(data, width=args.width))
+    _emit("\n\n".join(sections), args.output)
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    """Causal what-if: replay a recorded run under virtual resource
+    speedups; with ``--validate``, re-simulate for real and report the
+    prediction error (exit 1 beyond ``--max-error``)."""
+    from .obs.whatif import (
+        parse_scenario,
+        predict,
+        render_predictions,
+        render_whatif_report,
+        validate_scenarios,
+    )
+
+    try:
+        scenarios = [parse_scenario(s) for s in args.scenarios]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        rows = validate_scenarios(
+            scenarios,
+            n_nodes=args.nodes,
+            n_requests=args.requests,
+            cpu_time=args.cpu_time,
+        )
+        _emit(render_whatif_report(rows, max_error=args.max_error), args.output)
+        worst = max(rows, key=lambda r: r.error)
+        return 1 if worst.error > args.max_error else 0
+
+    if not args.trace:
+        print(
+            "error: replay mode needs --trace (a --trace-out JSONL); or "
+            "pass --validate to simulate",
+            file=sys.stderr,
+        )
+        return 2
+    from .obs import load_jsonl, load_profile
+
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"error: no such trace file: {trace_path}", file=sys.stderr)
+        return 2
+    dump = load_jsonl(trace_path, strict=False)
+    intervals = None
+    if args.profile:
+        profile_path = Path(args.profile)
+        if not profile_path.exists():
+            print(
+                f"error: no such profile file: {profile_path}", file=sys.stderr
+            )
+            return 2
+        try:
+            profile = load_profile(profile_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        intervals = profile.get("intervals")
+        if intervals is None:
+            print(
+                "warning: profile has no span-linked intervals (record with "
+                "--critical-out); falling back to span categories",
+                file=sys.stderr,
+            )
+    predictions = [predict(dump, intervals, None)]
+    predictions += [predict(dump, intervals, s) for s in scenarios]
+    _emit(render_predictions(predictions), args.output)
+    return 0
+
+
 def _cmd_describe_trace(args) -> int:
     path = Path(args.tracefile)
     if not path.exists():
@@ -653,6 +825,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="probe every simulated resource (CPUs, disks, NICs, "
             "mailboxes, thread pools, directory locks) and write the "
             "utilization profile (JSON; inspect with `repro profile`)",
+        )
+        p.add_argument(
+            "--critical-out",
+            help="trace spans + span-linked resource intervals and write "
+            "the critical-path blame aggregate (JSON; inspect with "
+            "`repro critical`); implies tracing and interval profiling",
         )
 
     def common(p):
@@ -846,6 +1024,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max drifted counters to print (default 50)")
     p.add_argument("--output", help="also write the report to this file")
     p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "critical",
+        help="critical-path blame report (which resource the latency is "
+        "actually spent on) from a --critical-out aggregate, or "
+        "recomputed from raw --trace-out/--profile-out exports",
+    )
+    p.add_argument("criticalfile", nargs="?", default=None,
+                   help="a --critical-out JSON aggregate")
+    p.add_argument("--trace", metavar="SPANS",
+                   help="recompute from this --trace-out JSONL instead")
+    p.add_argument("--profile", metavar="PROFILE",
+                   help="span-linked intervals for --trace (a --profile-out "
+                   "JSON recorded alongside --critical-out)")
+    p.add_argument("--export", metavar="FILE",
+                   help="also write the recomputed aggregate (requires "
+                   "--trace)")
+    p.add_argument("--segments", action="store_true",
+                   help="only the blame-segment table")
+    p.add_argument("--by-outcome", action="store_true",
+                   help="only the per-outcome blame table")
+    p.add_argument("--width", type=int, default=60,
+                   help="blame flame-chart bar width in characters")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_critical)
+
+    p = sub.add_parser(
+        "whatif",
+        help="causal what-if: replay a recorded run under virtual resource "
+        "speedups (cpu:2, disk:4, lan:4, nodes:+1); --validate re-simulates "
+        "for real and exits 1 if the prediction error exceeds --max-error",
+    )
+    p.add_argument("--scenarios", nargs="+", required=True, metavar="RES:K",
+                   help="speedup hypotheses, e.g. cpu:2 disk:2 lan:4 "
+                   "nodes:+1")
+    p.add_argument("--trace", metavar="SPANS",
+                   help="replay this --trace-out JSONL (replay mode)")
+    p.add_argument("--profile", metavar="PROFILE",
+                   help="span-linked intervals for --trace (profile "
+                   "recorded alongside --critical-out)")
+    p.add_argument("--validate", action="store_true",
+                   help="record a baseline cell, predict each scenario, "
+                   "then actually re-run with scaled rates and report the "
+                   "prediction error")
+    p.add_argument("--nodes", type=int, default=2,
+                   help="cluster size for --validate cells (default 2)")
+    p.add_argument("--requests", type=int, default=40,
+                   help="requests per --validate cell (default 40)")
+    p.add_argument("--cpu-time", type=float, default=1.0,
+                   help="per-request CGI CPU seconds in --validate cells")
+    p.add_argument("--max-error", type=float, default=0.10, metavar="FRAC",
+                   help="allowed relative prediction error before exit 1 "
+                   "(default 0.10)")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(func=_cmd_whatif)
 
     p = sub.add_parser("describe-trace", help="summarize a saved trace file")
     p.add_argument("tracefile")

@@ -88,12 +88,17 @@ class CacherModule:
         #: Optional :class:`~repro.obs.ConsistencyOracle` (set by the
         #: server's ``attach_oracle``); same zero-cost-when-off contract.
         self.oracle = None
+        #: Optional :class:`~repro.obs.ResourceProfiler` (set by the
+        #: server's ``attach_profiler``); the span helpers feed its
+        #: :class:`~repro.sim.probes.SpanLinker` in interval mode.
+        self.profiler = None
 
     def attach_profiler(self, profiler) -> None:
         """Register the directory's RWLocks for contention scraping.
 
         The locks keep their own counters (they predate the profiler), so
         no hooks are installed — the profiler reads them at finalize."""
+        self.profiler = profiler
         profiler.watch_locks(self.name, self.directory.locks())
 
     # -- span helpers (no-ops while no tracer is attached) -------------------
@@ -101,14 +106,21 @@ class CacherModule:
         if parent is None or self.tracer is None:
             return None
         now, tick = self.sim.monotonic()
-        return self.tracer.start_span(
+        span = self.tracer.start_span(
             name, parent=parent, category=category, node=self.name,
             start=now, tick=tick,
         )
+        profiler = self.profiler
+        if profiler is not None and profiler.linker is not None:
+            profiler.linker.push(self.sim, span)
+        return span
 
     def _end_span(self, span, **attrs) -> None:
         if span is not None:
             span.close(self.sim.now, **attrs)
+            profiler = self.profiler
+            if profiler is not None and profiler.linker is not None:
+                profiler.linker.pop(self.sim, span)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:

@@ -140,6 +140,26 @@ class RunObserver:
         for target in list(self.targets):
             self.collect(target)
 
+    def critical_records(self):
+        """Per-request blame decompositions (``--critical-out``).
+
+        Joins the collected span trees with the profiler's span-linked
+        resource intervals; needs a tracer and a profiler built with
+        ``record_intervals=True`` (the CLI arranges both when
+        ``--critical-out`` is given).  Returns ``[]`` when tracing was
+        off — never raises on an unobserved or empty run.
+        """
+        if self.tracer is None:
+            return []
+        from ..obs import decompose
+
+        intervals = (
+            self.profiler.intervals
+            if self.profiler is not None and self.profiler.linker is not None
+            else None
+        )
+        return decompose(self.tracer, intervals)
+
 
 # The active-observer slot lives in ``repro.obs.runtime`` so that core
 # layers (``SwalaCluster.start``) can consult it without importing the

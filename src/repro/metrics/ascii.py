@@ -1,13 +1,49 @@
-"""Tiny ASCII charts for example scripts and benchmark summaries."""
+"""Tiny ASCII charts for example scripts and benchmark summaries.
+
+The pretty output uses Unicode block glyphs, but charts must never
+crash a report just because stdout is ASCII-only (``PYTHONIOENCODING=
+ascii``, dumb CI logs, ``LANG=C`` pipes).  Every renderer probes the
+active stdout encoding per call and falls back to pure-ASCII glyphs
+when the blocks are unencodable.
+"""
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "flame_chart", "series_chart", "sparkline"]
+__all__ = ["bar_chart", "block_char", "flame_chart", "series_chart",
+           "sparkline"]
 
 #: Eighth-block glyphs used by :func:`sparkline`, lowest to highest.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+#: ASCII stand-ins (same length, same low-to-high ordering).
+ASCII_SPARK_BLOCKS = "_.-:=+*#"
+
+
+def _encodable(text: str) -> bool:
+    """Can the current stdout encoding represent ``text``?"""
+    encoding = getattr(sys.stdout, "encoding", None)
+    if not encoding:
+        return True
+    try:
+        text.encode(encoding)
+    except (UnicodeEncodeError, LookupError):
+        return False
+    return True
+
+
+def _spark_glyphs() -> str:
+    return SPARK_BLOCKS if _encodable(SPARK_BLOCKS) else ASCII_SPARK_BLOCKS
+
+
+def block_char() -> str:
+    """Bar-fill glyph honouring the stdout encoding (``█`` or ``#``)."""
+    return "█" if _encodable("█") else "#"
+
+
+def _ellipsis() -> str:
+    return "…" if _encodable("…") else "..."
 
 
 def sparkline(
@@ -23,16 +59,17 @@ def sparkline(
     """
     if not values:
         return ""
+    blocks = _spark_glyphs()
     lo = min(values) if lo is None else lo
     hi = max(values) if hi is None else hi
     extent = hi - lo
     if extent <= 0:
-        return SPARK_BLOCKS[0] * len(values)
-    top = len(SPARK_BLOCKS) - 1
+        return blocks[0] * len(values)
+    top = len(blocks) - 1
     out = []
     for v in values:
         frac = (v - lo) / extent
-        out.append(SPARK_BLOCKS[max(0, min(top, int(frac * top + 0.5)))])
+        out.append(blocks[max(0, min(top, int(frac * top + 0.5)))])
     return "".join(out)
 
 
@@ -122,16 +159,20 @@ def flame_chart(
             walk(child, depth + 1)
 
     walk(root, 0)
+    block = block_char()
     label_w = max((len(label) for label, _ in rows), default=1)
     for label, total in rows:
         share = total / grand
-        bar = "█" * max(1, int(round(share * width)))
+        bar = block * max(1, int(round(share * width)))
         lines.append(
             f"{label.ljust(label_w)}  {bar.ljust(width)}  "
             f"{100.0 * share:5.1f}%  {total:.4g}s"
         )
     if pruned:
-        lines.append(f"… {pruned} frame(s) under {100.0 * min_share:g}% pruned")
+        lines.append(
+            f"{_ellipsis()} {pruned} frame(s) under "
+            f"{100.0 * min_share:g}% pruned"
+        )
     return "\n".join(lines)
 
 

@@ -137,6 +137,16 @@ class Network:
             node=src, start=now, tick=tick, port=port, bytes=size,
         )
 
+    def _hop_linker(self, span):
+        """The profiler's span linker, when this hop should carry the NIC
+        interval (interval-mode profiler + a traced hop).  NIC claims are
+        synchronous at send/broadcast call time, so pushing the hop span
+        around the claim attributes the serialization to the hop rather
+        than to whatever request span the caller had open."""
+        if span is None or self.profiler is None:
+            return None
+        return self.profiler.linker
+
     # -- transmission ---------------------------------------------------------
     def send(
         self, src: str, dst: str, port: str, payload: Any, size: int,
@@ -160,7 +170,16 @@ class Network:
         span = self._hop_span(parent, src, dst, port, size)
         delivered = Event(self.sim)
         nic = self._nics[src]
+        linker = self._hop_linker(span)
+        if linker is not None:
+            linker.push(self.sim, span)
         token = nic.try_acquire()
+        req = None
+        if token is None:
+            # Contended: queue on the NIC now (claim order = call order).
+            req = nic.request()
+        if linker is not None:
+            linker.pop(self.sim, span)
         if token is not None:
             # Fast path: the NIC is idle, so the whole transmission can be
             # driven by timeout callbacks — no process, no request event.
@@ -171,9 +190,7 @@ class Network:
             else:
                 self._serialized(nic, token, msg, delivered, span)
             return delivered
-        # Contended: queue on the NIC now (claim order = call order) and
-        # let a transmit process wait out the grant.
-        req = nic.request()
+        # Let a transmit process wait out the grant.
         self.sim.process(
             self._transmit(nic, req, msg, delivered, span),
             name=f"xmit-{msg.msg_id}",
@@ -259,7 +276,15 @@ class Network:
             copies.append((msg, delivered, span))
             events.append(delivered)
         nic = self._nics[src]
+        # The single claim serializes every copy; attribute it to the
+        # first hop span (one NIC interval per fan-out, not per copy).
+        first_span = copies[0][2]
+        linker = self._hop_linker(first_span)
+        if linker is not None:
+            linker.push(self.sim, first_span)
         req = nic.request()  # synchronous claim: FCFS order = call order
+        if linker is not None:
+            linker.pop(self.sim, first_span)
         self.sim.process(
             self._transmit_fanout(nic, req, copies, size),
             name=f"bcast-{copies[0][0].msg_id}",
@@ -299,7 +324,12 @@ class Network:
             span = self._hop_span(parent, src, dst, port, size)
             delivered = Event(self.sim)
             nic = self._nics[src]
+            linker = self._hop_linker(span)
+            if linker is not None:
+                linker.push(self.sim, span)
             req = nic.request()
+            if linker is not None:
+                linker.pop(self.sim, span)
             self.sim.process(
                 self._transmit(nic, req, msg, delivered, span),
                 name=f"xmit-{msg.msg_id}",

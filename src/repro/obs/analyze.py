@@ -255,6 +255,9 @@ def render_timeline(
     lines.append(
         f"{'span'.ljust(name_w)}  {'cat'.ljust(7)}  {'ms'.rjust(9)}  timeline"
     )
+    from ..metrics.ascii import block_char
+
+    block = block_char()
     for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
         label = "  " * _span_depth(span, by_id) + span.name
         if span.end is None:
@@ -266,7 +269,7 @@ def render_timeline(
         lead = int(round((span.start - t0) / extent * width))
         length = max(1, int(round(span.duration / extent * width)))
         length = min(length, width - min(lead, width - 1))
-        bar = " " * min(lead, width - 1) + "█" * length
+        bar = " " * min(lead, width - 1) + block * length
         lines.append(
             f"{label.ljust(name_w)}  {span.category.ljust(7)}  "
             f"{span.duration * 1e3:9.3f}  |{bar.ljust(width)}|"

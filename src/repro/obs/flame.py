@@ -31,7 +31,9 @@ from typing import Dict, List, Union
 from .analyze import outcome_of
 from .trace import Span, TraceDump
 
-__all__ = ["fold_spans", "render_folded", "write_folded", "frame_name"]
+__all__ = [
+    "fold_spans", "fold_blame", "render_folded", "write_folded", "frame_name",
+]
 
 #: Folded counts are integers; sim seconds are scaled to microseconds.
 MICROSECONDS = 1e6
@@ -75,6 +77,24 @@ def fold_spans(dump: TraceDump) -> Dict[str, float]:
                 folded[path] = folded.get(path, 0.0) + self_time
             for child in sorted(kids, key=lambda c: (c.start, c.span_id)):
                 stack.append((child, path + ";" + frame_name(child)))
+    return folded
+
+
+def fold_blame(records) -> Dict[str, float]:
+    """Blame-rooted stacks from critical-path decompositions.
+
+    Takes :class:`~repro.obs.critical.RequestBlame` records and folds
+    them into ``outcome;segment`` stacks — the flame graph of *where the
+    latency went* rather than which span owned it.  Complements
+    :func:`fold_spans` (same folded format, renders through the same
+    :func:`~repro.metrics.ascii.flame_chart`).
+    """
+    folded: Dict[str, float] = {}
+    for record in records:
+        for segment, seconds in record.segments.items():
+            if seconds > 0.0:
+                path = f"{record.outcome};{segment}"
+                folded[path] = folded.get(path, 0.0) + seconds
     return folded
 
 

@@ -25,6 +25,20 @@ check.  Probes never schedule events, draw no random numbers, and the
 are bit-identical to unprofiled ones and same-seed profiles are
 byte-identical.
 
+**Interval recording** (``record_intervals=True``) additionally links
+each acquisition to the request span that caused it: the instrumented
+span helpers maintain a :class:`~repro.sim.probes.SpanLinker`, probes
+capture the innermost open span at *submit* time (grants and
+completions fire in other processes' contexts, where the ambient span
+would be wrong), and each completed acquisition appends one
+``{trace, span, resource, kind, wait, service, start, end}`` record.
+This is the join key the critical-path analyzer
+(:mod:`repro.obs.critical`) uses to split span time into service vs
+queueing blame.  Off by default: probes carry ``sink = None`` and pay
+one extra ``is None`` check per hook, and the exported JSON gains the
+``intervals`` key only when recording was on, so committed profile
+baselines are unaffected.
+
 The report side computes, per resource, the Little's-law cross-check
 ``L = λ·W`` against the measured time-average occupancy — a built-in
 sanity proof that the accounting is self-consistent — and per node the
@@ -93,7 +107,7 @@ class ResourceProbe:
         "waits", "holds",
         "requests", "contended", "completions", "cancelled",
         "provenance", "_pending", "_held", "_item_times",
-        "cpu_busy_time",
+        "cpu_busy_time", "sink", "_links",
     )
 
     def __init__(self, sim, name: str, kind: str, capacity: int,
@@ -126,6 +140,12 @@ class ResourceProbe:
         #: For ``cpu`` probes: the owner's true busy integral, scraped at
         #: finalize (≠ ``busy_time``, which integrates jobs *in system*).
         self.cpu_busy_time: Optional[float] = None
+        #: The owning :class:`ResourceProfiler` when interval recording is
+        #: on, else ``None`` (hooks pay one extra ``is None`` check).
+        self.sink = None
+        #: Submit-time span links, keyed by ``id(token/job/getter)``:
+        #: ``(span, submit_time, grant_time_or_None)``.
+        self._links: Dict[int, Any] = {}
 
     # -- time accounting --------------------------------------------------
     def _advance(self) -> float:
@@ -147,6 +167,12 @@ class ResourceProbe:
         prov = self.provenance
         prov[label] = prov.get(label, 0) + 1
 
+    def _link_submit(self, key: int, now: float, granted: bool) -> None:
+        """Capture the ambient span at submit time (interval mode only)."""
+        span = self.sink.linker.current(self.sim)
+        if span is not None:
+            self._links[key] = (span, now, now if granted else None)
+
     # -- Resource hooks ---------------------------------------------------
     def acquire(self, token) -> None:
         """An uncontended grant (request or try_acquire)."""
@@ -156,6 +182,8 @@ class ResourceProbe:
         self.waits.observe(0.0)
         self.in_service += 1
         self._held[id(token)] = now
+        if self.sink is not None:
+            self._link_submit(id(token), now, granted=True)
 
     def enqueue(self, token) -> None:
         """A request that found every unit busy."""
@@ -165,6 +193,8 @@ class ResourceProbe:
         self._mark()
         self.queued += 1
         self._pending[id(token)] = now
+        if self.sink is not None:
+            self._link_submit(id(token), now, granted=False)
 
     def grant(self, token) -> None:
         """A queued request promoted to holder by a release."""
@@ -173,12 +203,28 @@ class ResourceProbe:
         self.queued -= 1
         self.in_service += 1
         self._held[id(token)] = now
+        if self.sink is not None:
+            # Runs in the releaser's context: only stamp the grant time,
+            # never consult the linker here.
+            link = self._links.get(id(token))
+            if link is not None:
+                self._links[id(token)] = (link[0], link[1], now)
 
     def release(self, token) -> None:
         now = self._advance()
         self.holds.observe(now - self._held.pop(id(token), now))
         self.in_service -= 1
         self.completions += 1
+        if self.sink is not None:
+            link = self._links.pop(id(token), None)
+            if link is not None:
+                span, submitted, granted = link
+                if granted is None:
+                    granted = now
+                self.sink.record_interval(
+                    self, span, granted - submitted, now - granted,
+                    submitted, now,
+                )
 
     def cancel(self, token) -> None:
         """A queued request withdrawn before it was granted."""
@@ -186,6 +232,8 @@ class ResourceProbe:
         self._pending.pop(id(token), None)
         self.queued -= 1
         self.cancelled += 1
+        if self.sink is not None:
+            self._links.pop(id(token), None)
 
     # -- Store hooks ------------------------------------------------------
     def deposit(self) -> None:
@@ -214,12 +262,23 @@ class ResourceProbe:
         self.queued -= 1
         self.holds.observe(0.0)
         self.completions += 1
+        if self.sink is not None:
+            # Fires in the putter's context; the link was captured when
+            # the getter blocked.  Pure wait, no service.
+            link = self._links.pop(id(getter), None)
+            if link is not None:
+                span, submitted, _ = link
+                self.sink.record_interval(
+                    self, span, now - submitted, 0.0, submitted, now
+                )
 
     def enqueue_getter(self, event) -> None:
         """A get that found the store empty and blocked."""
         now = self._advance()
         self.queued += 1
         self._pending[id(event)] = now
+        if self.sink is not None:
+            self._link_submit(id(event), now, granted=False)
 
     def cancel_getter(self, event) -> None:
         """A blocked getter withdrawn (timeout raced the item)."""
@@ -227,6 +286,8 @@ class ResourceProbe:
         self._pending.pop(id(event), None)
         self.queued -= 1
         self.cancelled += 1
+        if self.sink is not None:
+            self._links.pop(id(event), None)
 
     # -- ProcessorSharing hooks -------------------------------------------
     def ps_submit(self, job) -> None:
@@ -236,6 +297,10 @@ class ResourceProbe:
         if self.in_service >= self.capacity:
             self.contended += 1
         self.in_service += 1
+        if self.sink is not None:
+            span = self.sink.linker.current(self.sim)
+            if span is not None:
+                self._links[id(job)] = span
 
     def ps_complete(self, job, now: float) -> None:
         self._advance()
@@ -246,6 +311,16 @@ class ResourceProbe:
         self.holds.observe(sojourn)
         self.completions += 1
         self.in_service -= 1
+        if self.sink is not None:
+            # Fires inside _advance of whatever process moved the clock;
+            # the job's span was captured at submit.  wait + service ==
+            # sojourn exactly, so per-span blame sums stay exact.
+            span = self._links.pop(id(job), None)
+            if span is not None:
+                wait = max(0.0, sojourn - job.demand)
+                self.sink.record_interval(
+                    self, span, wait, sojourn - wait, job.start_time, now
+                )
 
     # -- pool hooks -------------------------------------------------------
     def busy_begin(self) -> float:
@@ -346,10 +421,15 @@ class ResourceProfiler:
     their own counters — the profiler only scrapes them at finalize).
     """
 
-    def __init__(self, max_resources: int = 4096):
+    def __init__(self, max_resources: int = 4096,
+                 record_intervals: bool = False,
+                 max_intervals: int = 500_000):
         if max_resources < 1:
             raise ValueError(f"max_resources must be >= 1, got {max_resources}")
+        if max_intervals < 1:
+            raise ValueError(f"max_intervals must be >= 1, got {max_intervals}")
         self.max_resources = max_resources
+        self.max_intervals = max_intervals
         self.probes: List[ResourceProbe] = []
         #: ``(run, node, lock)`` triples registered via :meth:`watch_locks`.
         self.watched_locks: List[Tuple[int, str, Any]] = []
@@ -357,6 +437,19 @@ class ResourceProfiler:
         self.run = 0
         #: Probes not created because ``max_resources`` was hit.
         self.dropped = 0
+        #: Per-process open-span stacks, maintained by the instrumented
+        #: span helpers; ``None`` unless ``record_intervals`` was asked
+        #: for, which is what keeps the default path zero-cost.
+        self.linker = None
+        #: Completed span-linked acquisitions, in completion order
+        #: (deterministic: event order is deterministic).
+        self.intervals: List[Dict[str, Any]] = []
+        #: Interval records not stored because ``max_intervals`` was hit.
+        self.intervals_dropped = 0
+        if record_intervals:
+            from ..sim.probes import SpanLinker
+
+            self.linker = SpanLinker()
 
     def new_run(self) -> int:
         """Stamp subsequent probes with the next run number."""
@@ -397,8 +490,29 @@ class ResourceProfiler:
             self.dropped += 1
             return None
         probe = ResourceProbe(sim, name, kind, capacity, run=self.run, owner=owner)
+        if self.linker is not None:
+            probe.sink = self
         self.probes.append(probe)
         return probe
+
+    def record_interval(self, probe: ResourceProbe, span,
+                        wait: float, service: float,
+                        start: float, end: float) -> None:
+        """One completed span-linked acquisition (interval mode only)."""
+        if len(self.intervals) >= self.max_intervals:
+            self.intervals_dropped += 1
+            return
+        self.intervals.append({
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "resource": probe.name,
+            "kind": probe.kind,
+            "run": probe.run,
+            "wait": wait,
+            "service": service,
+            "start": start,
+            "end": end,
+        })
 
     def watch_locks(self, node: str, locks: Sequence[Any]) -> None:
         """Register RWLocks/Locks whose own counters we scrape at export."""
@@ -436,7 +550,7 @@ class ResourceProfiler:
         return rows
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "version": PROFILE_VERSION,
             "runs": self.run,
             "dropped": self.dropped,
@@ -448,6 +562,13 @@ class ResourceProfiler:
             ],
             "locks": self._lock_stats(),
         }
+        if self.linker is not None:
+            # Only in interval mode, so profiles written without it (and
+            # the committed CI baselines diffed against them) are
+            # byte-for-byte what they always were.
+            out["intervals"] = list(self.intervals)
+            out["intervals_dropped"] = self.intervals_dropped
+        return out
 
     def to_json(self) -> str:
         """Deterministic JSON (sorted keys, compact separators)."""

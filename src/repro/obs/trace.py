@@ -18,6 +18,14 @@ so an unbounded run cannot exhaust memory; overflow is counted in
 
 Export is deterministic JSONL: one object per line, sorted keys, compact
 separators — two runs with the same seed produce byte-identical files.
+
+**Span ids as join keys.**  ``(trace_id, span_id)`` pairs are unique per
+collector (global counters, never reset by :meth:`TraceCollector.
+new_run`), so other recorders can reference spans without coordination:
+the resource profiler's span-linked wait/hold intervals
+(:class:`~repro.sim.probes.SpanLinker`) carry exactly these pairs, and
+the critical-path analyzer (:mod:`repro.obs.critical`) joins the two
+streams back together.
 """
 
 from __future__ import annotations

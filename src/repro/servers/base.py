@@ -109,20 +109,35 @@ class BaseServer:
             "queue", parent=root, category="queue", node=self.name,
             start=conn.sent_at, tick=tick,
         ).close(now)
+        self._link_span(root)
         return root
+
+    def _link_span(self, span) -> None:
+        """Make ``span`` the ambient one for resource-probe linkage."""
+        profiler = self.profiler
+        if profiler is not None and profiler.linker is not None:
+            profiler.linker.push(self.sim, span)
+
+    def _unlink_span(self, span) -> None:
+        profiler = self.profiler
+        if profiler is not None and profiler.linker is not None:
+            profiler.linker.pop(self.sim, span)
 
     def _span(self, parent, name: str, category: str):
         if parent is None or self.tracer is None:
             return None
         now, tick = self.sim.monotonic()
-        return self.tracer.start_span(
+        span = self.tracer.start_span(
             name, parent=parent, category=category, node=self.name,
             start=now, tick=tick,
         )
+        self._link_span(span)
+        return span
 
     def _end_span(self, span, **attrs) -> None:
         if span is not None:
             span.close(self.sim.now, **attrs)
+            self._unlink_span(span)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:

@@ -2,6 +2,9 @@
 
 * :class:`EventTracer` — a bounded in-memory log of processed events
   (debugging tool: what fired, when, in what order);
+* :class:`SpanLinker` — per-process tracking of the innermost open
+  request span, so resource probes can stamp acquisitions with the span
+  that caused them;
 * :func:`sample` — a periodic sampler process that polls any zero-argument
   metric function into a :class:`~repro.sim.monitor.TimeSeries` (CPU load
   curves, cache occupancy over time, queue lengths...).
@@ -10,12 +13,74 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .engine import Event, Process, Simulator, Timeout
 from .monitor import TimeSeries
 
-__all__ = ["EventTracer", "sample"]
+__all__ = ["EventTracer", "SpanLinker", "sample"]
+
+
+class SpanLinker:
+    """Per-process stacks of open spans, keyed by the active process.
+
+    The instrumented request paths (server/cacher span helpers, network
+    hop spans) push a span when they open it and pop it when they close
+    it; a resource probe asks :meth:`current` at *submit* time to learn
+    which span an acquisition belongs to.  The submit moment matters:
+    grants, PS completions and store wakes later fire in some *other*
+    process's execution context, where the ambient span would be wrong,
+    so probes must capture the link when the claim is made and carry it
+    through themselves.
+
+    Keys are ``id(active_process)``; pushes from event-callback context
+    (no active process) are ignored — the only resources claimed from
+    callbacks are the network's no-contention fast paths, which link
+    their hop spans explicitly before the claim.  Pops tolerate
+    out-of-order closes (a span closed by a different code path than
+    opened it) by removing the span wherever it sits in the stack.
+
+    Lives in the sim layer (no obs imports) next to the other
+    observability taps; the profiler owns one only while interval
+    recording is on, so the default costs nothing.
+    """
+
+    __slots__ = ("_stacks",)
+
+    def __init__(self):
+        self._stacks: Dict[int, List[object]] = {}
+
+    def push(self, sim: Simulator, span) -> None:
+        process = sim._active_process
+        if process is None:
+            return
+        self._stacks.setdefault(id(process), []).append(span)
+
+    def pop(self, sim: Simulator, span) -> None:
+        process = sim._active_process
+        if process is None:
+            return
+        key = id(process)
+        stack = self._stacks.get(key)
+        if not stack:
+            return
+        if stack[-1] is span:
+            stack.pop()
+        else:
+            try:
+                stack.remove(span)
+            except ValueError:
+                return
+        if not stack:
+            del self._stacks[key]
+
+    def current(self, sim: Simulator):
+        """The innermost open span of the running process, or ``None``."""
+        process = sim._active_process
+        if process is None:
+            return None
+        stack = self._stacks.get(id(process))
+        return stack[-1] if stack else None
 
 
 class EventTracer:

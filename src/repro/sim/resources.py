@@ -6,6 +6,15 @@
   processors equally (egalitarian processor sharing), the standard model of
   a time-sliced multi-threaded host.  This is what makes "response time grows
   with concurrent load" emerge naturally in the server models.
+
+Each primitive carries an optional ``probe`` hook (``None`` by default —
+the hot path pays one ``is None`` test per transition).  The profiler's
+probes observe every submit/grant/release; when interval recording is on
+they additionally stamp the ambient request span (via
+:class:`~repro.sim.probes.SpanLinker`) on each claim **at submit time** —
+grants and PS completions fire in *other* processes' contexts, where the
+ambient span would be wrong — which is what lets the critical-path
+analyzer charge wait and service time to individual requests.
 """
 
 from __future__ import annotations

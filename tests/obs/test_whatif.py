@@ -1,0 +1,179 @@
+"""Tests for the causal what-if replay engine (obs.whatif)."""
+
+import pytest
+
+from repro.obs.trace import Span, TraceDump
+from repro.obs.whatif import (
+    Scenario,
+    ValidationRow,
+    parse_scenario,
+    predict,
+    render_predictions,
+    render_whatif_report,
+    run_cell,
+    segment_speedups,
+    validate_scenarios,
+)
+
+
+def make_span(trace_id, span_id, parent_id, name, start, end=None,
+              category="other", **attrs):
+    span = Span(trace_id, span_id, parent_id, name, "n0", category, start, 0,
+                attrs)
+    if end is not None:
+        span.close(end)
+    return span
+
+
+def serial_dump():
+    """queue(1) -> execute(5) -> hop(2) -> root tail(2), total 10."""
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 10.0, outcome="exec"),
+        make_span(1, 2, 1, "queue", 0.0, 1.0, category="queue"),
+        make_span(1, 3, 1, "execute", 1.0, 6.0, category="cpu"),
+        make_span(1, 4, 1, "hop:a->b", 6.0, 8.0, category="network"),
+    ]
+    return TraceDump(spans, [])
+
+
+# -- scenario parsing --------------------------------------------------------
+
+def test_parse_scenario_forms():
+    assert parse_scenario("cpu:2") == Scenario("cpu", 2.0)
+    assert parse_scenario(" DISK:4 ") == Scenario("disk", 4.0)
+    assert parse_scenario("lan:0.5") == Scenario("lan", 0.5)
+    assert parse_scenario("nodes:+2") == Scenario("nodes", 2.0)
+    assert parse_scenario("nodes:-1").label == "nodes:-1"
+    assert parse_scenario("cpu:2").label == "cpu:2"
+
+
+@pytest.mark.parametrize("bad", [
+    "cpu", "cpu:", "cpu:fast", "gpu:2", "cpu:0", "cpu:-1", "nodes:1.5",
+])
+def test_parse_scenario_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_scenario(bad)
+
+
+def test_segment_speedups_mapping():
+    assert segment_speedups(Scenario("cpu", 2.0)) == {
+        "cpu-service": 2.0, "cpu-queue": 2.0,
+    }
+    assert segment_speedups(Scenario("disk", 3.0)) == {
+        "disk-service": 3.0, "disk-wait": 3.0,
+    }
+    assert segment_speedups(Scenario("lan", 4.0)) == {"net-latency": 4.0}
+    assert segment_speedups(Scenario("nodes", 1.0)) == {}
+    assert segment_speedups(None) == {}
+
+
+# -- analytic replay ---------------------------------------------------------
+
+def test_identity_replay_is_exact():
+    pred = predict(serial_dump(), None, None)
+    assert pred.requests == 1
+    assert pred.latencies == [(10.0, pytest.approx(10.0))]
+    assert pred.baseline_mean == pytest.approx(pred.predicted_mean)
+
+
+def test_cpu_speedup_scales_only_cpu_segments():
+    pred = predict(serial_dump(), None, parse_scenario("cpu:2"))
+    # execute 5 -> 2.5; queue/hop/tail untouched: 1 + 2.5 + 2 + 2 = 7.5.
+    assert pred.predicted_mean == pytest.approx(7.5)
+    assert pred.predicted_speedup == pytest.approx(10.0 / 7.5)
+
+
+def test_lan_speedup_touches_nothing_without_intervals():
+    # Unrefined hop spans fall back to nic-transfer (serialization), so a
+    # pure latency scenario predicts no win — the conservative answer.
+    pred = predict(serial_dump(), None, parse_scenario("lan:4"))
+    assert pred.predicted_mean == pytest.approx(10.0)
+
+
+def test_lan_speedup_scales_refined_hop_latency():
+    ivs = [{
+        "trace": 1, "span": 4, "resource": "n0.nic", "kind": "resource",
+        "run": 1, "wait": 0.0, "service": 0.5, "start": 6.0, "end": 6.5,
+    }]
+    pred = predict(serial_dump(), ivs, parse_scenario("lan:4"))
+    # hop = 0.5 serialization + 1.5 latency; latency / 4 => hop 0.875.
+    assert pred.predicted_mean == pytest.approx(10.0 - 1.5 + 1.5 / 4)
+
+
+def test_concurrent_children_slowest_branch_dominates():
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 10.0, outcome="exec"),
+        make_span(1, 2, 1, "execute", 0.0, 8.0, category="cpu"),
+        make_span(1, 3, 1, "hop:a->b", 0.0, 6.0, category="network"),
+    ]
+    dump = TraceDump(spans, [])
+    assert predict(dump, None, None).predicted_mean == pytest.approx(10.0)
+    # cpu:4 shrinks execute to 2, but the concurrent 6s hop now dominates
+    # the cluster: 6 + tail 2 = 8.
+    pred = predict(dump, None, parse_scenario("cpu:4"))
+    assert pred.predicted_mean == pytest.approx(8.0)
+
+
+def test_child_clipped_to_parent_window():
+    spans = [
+        make_span(1, 1, None, "request", 0.0, 4.0, outcome="exec"),
+        # Fire-and-forget hop outliving the root: only 2 of 8 covered.
+        make_span(1, 2, 1, "hop:a->b", 2.0, 10.0, category="network"),
+    ]
+    pred = predict(TraceDump(spans, []), None, None)
+    assert pred.predicted_mean == pytest.approx(4.0)
+
+
+def test_empty_dump_degenerate_safe():
+    pred = predict(TraceDump([], []), None, parse_scenario("cpu:2"))
+    assert pred.requests == 0
+    assert pred.baseline_mean == 0.0
+    assert pred.predicted_mean == 0.0
+    assert pred.predicted_speedup == 1.0
+    assert "(no scenarios)" == render_predictions([])
+    assert "scenario" in render_predictions([pred])
+
+
+# -- validation loop ---------------------------------------------------------
+
+def test_validation_row_error_semantics():
+    row = ValidationRow("x", 2.0, 1.1, 1.0)
+    assert row.error == pytest.approx(0.1)
+    assert row.predicted_speedup == pytest.approx(2.0 / 1.1)
+    assert row.actual_speedup == pytest.approx(2.0)
+    zero = ValidationRow("z", 0.0, 0.0, 0.0)
+    assert zero.error == 0.0
+    assert ValidationRow("z", 0.0, 1.0, 0.0).error == float("inf")
+
+
+def test_run_cell_identity_replay_on_live_run():
+    cell = run_cell(None, n_nodes=2, n_requests=5, observe=True)
+    assert cell.tracer is not None and cell.profiler is not None
+    assert cell.profiler.intervals  # span-linked intervals recorded
+    pred = predict(cell.tracer, cell.profiler.intervals, None)
+    assert pred.requests == 5
+    for recorded, replayed in pred.latencies:
+        assert replayed == pytest.approx(recorded, abs=1e-12)
+
+
+def test_run_cell_scenario_knobs_change_rates():
+    base = run_cell(None, n_nodes=2, n_requests=5)
+    fast = run_cell(parse_scenario("cpu:2"), n_nodes=2, n_requests=5)
+    assert fast.mean_latency < base.mean_latency * 0.6
+    more = run_cell(parse_scenario("nodes:+1"), n_nodes=2, n_requests=5)
+    assert more.mean_latency == pytest.approx(base.mean_latency, rel=0.05)
+
+
+def test_validate_scenarios_within_ten_percent():
+    rows = validate_scenarios(
+        [parse_scenario("cpu:2"), parse_scenario("disk:2")],
+        n_nodes=2, n_requests=10,
+    )
+    assert [r.label for r in rows] == ["identity", "cpu:2", "disk:2"]
+    for row in rows:
+        assert row.error <= 0.10, (row.label, row.error)
+    report = render_whatif_report(rows, max_error=0.10)
+    assert "OK" in report and "cpu:2" in report
+    assert "FAIL" in render_whatif_report(
+        [ValidationRow("x", 1.0, 2.0, 1.0)], max_error=0.10
+    )

@@ -1,0 +1,139 @@
+"""Property-based tests for critical-path blame and what-if replay.
+
+The invariants pinned here are the load-bearing ones:
+
+* the blame decomposition is an exact partition — segment amounts sum to
+  the end-to-end latency, and the busy (span-covered) time never exceeds
+  the makespan;
+* the what-if replay is the identity under no speedups, and speedups
+  >= 1 never *increase* a predicted latency (causal monotonicity).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.obs.critical import BLAME_SEGMENTS, decompose
+from repro.obs.trace import Span, TraceDump
+from repro.obs.whatif import predict
+
+CATEGORIES = ("queue", "cpu", "network", "disk", "other")
+SPAN_NAMES = ("queue", "execute", "read-file", "hop:a->b", "fetch-remote",
+              "lookup", "insert", "send")
+
+# One child span: (start fraction, length fraction, name idx, cat idx,
+# nest-under-previous flag).
+child_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=len(SPAN_NAMES) - 1),
+        st.integers(min_value=0, max_value=len(CATEGORIES) - 1),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+interval_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),  # span pick (mod #spans)
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # wait
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # service
+        st.sampled_from(["cpu", "resource", "store"]),
+        st.sampled_from(["n0.cpu", "n0.disk", "n0.nic", "n0:box"]),
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+def build_trace(total, specs):
+    """A root of duration ``total`` with (possibly nested) children."""
+    spans = [Span(1, 1, None, "request", "n0", "other", 0.0, 0,
+                  {"outcome": "exec"})]
+    spans[0].close(total)
+    next_id = 2
+    previous = None
+    for frac_start, frac_len, name_i, cat_i, nest in specs:
+        parent = previous if (nest and previous is not None) else spans[0]
+        start = parent.start + frac_start * max(0.0, parent.end - parent.start)
+        end = start + frac_len * max(0.0, parent.end - start)
+        span = Span(1, next_id, parent.span_id, SPAN_NAMES[name_i], "n0",
+                    CATEGORIES[cat_i], start, 0, {})
+        span.close(end)
+        spans.append(span)
+        previous = span
+        next_id += 1
+    return TraceDump(spans, [])
+
+
+def build_intervals(dump, specs):
+    spans = dump.spans
+    out = []
+    for pick, wait, service, kind, resource in specs:
+        span = spans[pick % len(spans)]
+        out.append({
+            "trace": span.trace_id, "span": span.span_id,
+            "resource": resource, "kind": kind, "run": 1,
+            "wait": wait, "service": service,
+            "start": span.start, "end": span.start + wait + service,
+        })
+    return out
+
+
+class TestBlamePartition:
+    @given(
+        total=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        specs=child_specs,
+        ispecs=interval_specs,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_segments_sum_to_latency_and_busy_bounded(
+        self, total, specs, ispecs
+    ):
+        dump = build_trace(total, specs)
+        records = decompose(dump, build_intervals(dump, ispecs))
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.total == pytest.approx(total, abs=1e-9)
+        assert sum(rec.segments.values()) == pytest.approx(
+            rec.total, rel=1e-9, abs=1e-9
+        )
+        assert rec.busy <= rec.total + 1e-9
+        for name, value in rec.segments.items():
+            assert name in BLAME_SEGMENTS
+            assert value >= 0.0
+
+
+class TestReplayProperties:
+    @given(
+        total=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        specs=child_specs,
+        ispecs=interval_specs,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_identity_replay_reproduces_latency(self, total, specs, ispecs):
+        dump = build_trace(total, specs)
+        pred = predict(dump, build_intervals(dump, ispecs), None)
+        assert pred.requests == 1
+        recorded, replayed = pred.latencies[0]
+        assert replayed == pytest.approx(recorded, rel=1e-9, abs=1e-9)
+
+    @given(
+        total=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        specs=child_specs,
+        ispecs=interval_specs,
+        factor=st.floats(min_value=1.0, max_value=16.0, allow_nan=False),
+        resource=st.sampled_from(["cpu", "disk", "lan"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_speedups_never_slow_the_prediction(
+        self, total, specs, ispecs, factor, resource
+    ):
+        from repro.obs.whatif import Scenario
+
+        dump = build_trace(total, specs)
+        intervals = build_intervals(dump, ispecs)
+        pred = predict(dump, intervals, Scenario(resource, factor))
+        assert pred.predicted_mean <= pred.baseline_mean + 1e-9
