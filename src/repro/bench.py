@@ -17,8 +17,10 @@ machine and is what regression comparisons should use.
 
 from __future__ import annotations
 
+import gc as _gc
 import json
 import platform
+import random as _random
 import resource
 import sys
 import time
@@ -47,6 +49,14 @@ __all__ = [
     "bench_stack_distances",
     "bench_broadcast_storm",
     "bench_broadcast_storm_unicast",
+    "bench_scheduler_stress_heap",
+    "bench_scheduler_stress_calendar",
+    "bench_scheduler_stress_ladder",
+    "bench_scheduler_stress_skew_heap",
+    "bench_scheduler_stress_skew_calendar",
+    "bench_scheduler_stress_skew_ladder",
+    "bench_parallel_cluster_serial",
+    "bench_parallel_cluster_pdes",
     "run_bench",
     "write_bench_report",
     "compare_with_snapshot",
@@ -213,6 +223,142 @@ def bench_broadcast_storm_unicast() -> int:
     return _broadcast_storm(flatten=False)
 
 
+# Pre-drawn timestamp increments for the scheduler stress family, cached
+# so the (identical) random-draw cost lands in the warmup round instead
+# of diluting every measured round with RNG time that is the same for
+# all three schedulers.
+_STRESS_DRAWS: Dict[Tuple[str, int, int], Tuple[List[float], List[float]]] = {}
+
+
+def _stress_draws(dist: str, n_pending: int, n_ops: int):
+    key = (dist, n_pending, n_ops)
+    cached = _STRESS_DRAWS.get(key)
+    if cached is None:
+        rng = _random.Random(1234)
+        if dist == "uniform":
+            draw = lambda: rng.uniform(0.5, 1.5)  # noqa: E731
+        else:  # bimodal: dense near-term cluster + sparse far tail
+            draw = lambda: (  # noqa: E731
+                rng.uniform(0.01, 0.1)
+                if rng.random() < 0.95
+                else rng.uniform(500.0, 1500.0)
+            )
+        cached = (
+            [draw() for _ in range(n_pending)],
+            [draw() for _ in range(n_ops)],
+        )
+        _STRESS_DRAWS[key] = cached
+    return cached
+
+
+def _scheduler_stress(
+    scheduler: str, dist: str, n_pending: int, n_ops: int
+) -> int:
+    """Classic hold-model stress on the raw pending-event set.
+
+    Build ``n_pending`` entries, run ``n_ops`` hold steps (pop the
+    minimum, push it back a random increment later — the steady state of
+    a long simulation), then drain to empty.  GC is disabled inside the
+    workload: at ~1M live tuples, collector sweeps otherwise dominate
+    the very queue costs being compared.
+    """
+    from .sim import make_queue
+
+    build, holds = _stress_draws(dist, n_pending, n_ops)
+    q = make_queue(scheduler)
+    gc_was_enabled = _gc.isenabled()
+    _gc.disable()
+    try:
+        push = q.push
+        for seq, t in enumerate(build):
+            push((t, 1, seq, None))
+        pop = q.pop
+        for seq, dt in enumerate(holds, n_pending):
+            push((pop()[0] + dt, 1, seq, None))
+        for _ in range(n_pending):
+            pop()
+    finally:
+        if gc_was_enabled:
+            _gc.enable()
+    assert len(q) == 0
+    # Every entry is pushed and popped exactly once.
+    return 2 * (n_pending + n_ops)
+
+
+# A/B/C triplets: identical op streams, only the structure differs.  The
+# uniform cell is the ISSUE acceptance benchmark (1M pending events);
+# the skewed cell is smaller because the calendar queue's known failure
+# mode on bimodal gaps (a day width tuned to the far tail crams the
+# dense cluster into a handful of buckets) makes it quadratically slow.
+
+
+def bench_scheduler_stress_heap() -> int:
+    """Hold-model stress, 1M pending, uniform gaps: binary-heap baseline."""
+    return _scheduler_stress("heap", "uniform", 1_000_000, 600_000)
+
+
+def bench_scheduler_stress_calendar() -> int:
+    """A/B twin of :func:`bench_scheduler_stress_heap` on the calendar queue."""
+    return _scheduler_stress("calendar", "uniform", 1_000_000, 600_000)
+
+
+def bench_scheduler_stress_ladder() -> int:
+    """A/B twin of :func:`bench_scheduler_stress_heap` on the ladder queue."""
+    return _scheduler_stress("ladder", "uniform", 1_000_000, 600_000)
+
+
+def bench_scheduler_stress_skew_heap() -> int:
+    """Hold-model stress with bimodal (95% dense / 5% far-tail) gaps."""
+    return _scheduler_stress("heap", "skew", 100_000, 200_000)
+
+
+def bench_scheduler_stress_skew_calendar() -> int:
+    """A/B twin of :func:`bench_scheduler_stress_skew_heap` (calendar)."""
+    return _scheduler_stress("calendar", "skew", 100_000, 200_000)
+
+
+def bench_scheduler_stress_skew_ladder() -> int:
+    """A/B twin of :func:`bench_scheduler_stress_skew_heap` (ladder)."""
+    return _scheduler_stress("ladder", "skew", 100_000, 200_000)
+
+
+def _parallel_cluster(n_shards: int) -> int:
+    """A 16-node cooperative fleet run, serial or conservatively sharded.
+
+    The workload is fixed (same trace, same cluster) so the serial/PDES
+    pair is a true A/B: their wall-clock ratio is the synchronization
+    overhead (inline backend, 1 CPU) or the speedup (process backend,
+    multicore).  The inline backend keeps the number deterministic per
+    machine class; run the process backend ad hoc via
+    ``repro table3 --parallel-sim``.
+    """
+    from .core import CacheMode
+    from .experiments.common import run_cluster_trace
+    from .sim.pdes import using_partitions
+    from .workload import zipf_cgi_trace
+
+    trace = zipf_cgi_trace(1_500, 200, zipf=0.9, cpu_time_mean=0.2, seed=11)
+    if n_shards <= 1:
+        times, _ = run_cluster_trace(16, CacheMode.COOPERATIVE, trace,
+                                     n_threads=32, n_hosts=4)
+    else:
+        with using_partitions(n_shards, "inline"):
+            times, _ = run_cluster_trace(16, CacheMode.COOPERATIVE, trace,
+                                         n_threads=32, n_hosts=4)
+    return times.count
+
+
+def bench_parallel_cluster_serial() -> int:
+    """16-node cooperative fleet, one simulator (the PDES baseline)."""
+    return _parallel_cluster(1)
+
+
+def bench_parallel_cluster_pdes() -> int:
+    """A/B twin of :func:`bench_parallel_cluster_serial`: 4 shards under
+    conservative windowed sync (inline backend)."""
+    return _parallel_cluster(4)
+
+
 #: name -> zero-argument workload callable returning an event count.
 BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "event_dispatch": bench_event_dispatch,
@@ -224,6 +370,14 @@ BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "stack_distances": bench_stack_distances,
     "broadcast_storm": bench_broadcast_storm,
     "broadcast_storm_unicast": bench_broadcast_storm_unicast,
+    "scheduler_stress_heap": bench_scheduler_stress_heap,
+    "scheduler_stress_calendar": bench_scheduler_stress_calendar,
+    "scheduler_stress_ladder": bench_scheduler_stress_ladder,
+    "scheduler_stress_skew_heap": bench_scheduler_stress_skew_heap,
+    "scheduler_stress_skew_calendar": bench_scheduler_stress_skew_calendar,
+    "scheduler_stress_skew_ladder": bench_scheduler_stress_skew_ladder,
+    "parallel_cluster_serial": bench_parallel_cluster_serial,
+    "parallel_cluster_pdes": bench_parallel_cluster_pdes,
 }
 
 
@@ -242,35 +396,43 @@ class BenchResult:
     events_per_sec: float  # events / wall_min_s (min is the stable stat)
 
 
-def _time_workload(fn: Callable[[], int], rounds: int) -> Tuple[int, List[float]]:
-    events = fn()  # warmup round; also captures the event count
-    walls = []
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        walls.append(time.perf_counter() - t0)
-    return events, walls
-
-
 def run_bench(
     rounds: int = 5,
     names: Optional[List[str]] = None,
 ) -> List[BenchResult]:
-    """Time each workload for ``rounds`` measured rounds (after one warmup)."""
+    """Time each workload for ``rounds`` measured rounds (after one warmup).
+
+    Rounds are *interleaved* across workloads (one round of every
+    workload, then the next), not run back to back per workload: on a
+    shared machine, slow drift between minute N and minute N+5 would
+    otherwise land entirely on whichever workload ran last, which is
+    exactly the error an A/B twin comparison cannot tolerate.
+    """
+    selected = [
+        (name, fn)
+        for name, fn in BENCH_WORKLOADS.items()
+        if not names or name in names
+    ]
+    events: Dict[str, int] = {}
+    walls: Dict[str, List[float]] = {name: [] for name, _ in selected}
+    for name, fn in selected:  # warmup; also captures the event counts
+        events[name] = fn()
+    for _ in range(rounds):
+        for name, fn in selected:
+            t0 = time.perf_counter()
+            fn()
+            walls[name].append(time.perf_counter() - t0)
     results = []
-    for name, fn in BENCH_WORKLOADS.items():
-        if names and name not in names:
-            continue
-        events, walls = _time_workload(fn, rounds)
-        wall_min = min(walls)
+    for name, _fn in selected:
+        wall_min = min(walls[name])
         results.append(
             BenchResult(
                 name=name,
                 rounds=rounds,
-                events=events,
+                events=events[name],
                 wall_min_s=wall_min,
-                wall_mean_s=sum(walls) / len(walls),
-                events_per_sec=events / wall_min if wall_min > 0 else 0.0,
+                wall_mean_s=sum(walls[name]) / len(walls[name]),
+                events_per_sec=events[name] / wall_min if wall_min > 0 else 0.0,
             )
         )
     return results

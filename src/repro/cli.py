@@ -833,6 +833,37 @@ def build_parser() -> argparse.ArgumentParser:
             "`repro critical`); implies tracing and interval profiling",
         )
 
+    def scheduler_opt(p):
+        p.add_argument(
+            "--scheduler", choices=["heap", "calendar", "ladder"],
+            default=None,
+            help="pending-event set for every simulator this command "
+            "creates (default heap; calendar/ladder win on very large "
+            "event populations — results are identical either way)",
+        )
+
+    def positive_shards(value):
+        k = int(value)
+        if k < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {k}")
+        return k
+
+    def parallel_sim_opt(p):
+        p.add_argument(
+            "--parallel-sim", type=positive_shards, default=None, metavar="K",
+            help="shard each cluster simulation over K simulators under "
+            "conservative (lookahead = LAN latency) synchronization; "
+            "results match the serial run (verify with `repro diff`); "
+            "ignored by runs that have an observability flag active",
+        )
+        p.add_argument(
+            "--sim-backend", choices=["auto", "inline", "process"],
+            default=None,
+            help="how --parallel-sim shards execute: OS processes, "
+            "in-process round-robin (inline; for equivalence checks and "
+            "single-CPU boxes), or auto per machine (default)",
+        )
+
     def common(p):
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--output", help="also write the table to this file")
@@ -843,6 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
             "commands; results are identical to a serial run; falls back "
             "to serial when any observability flag is active)",
         )
+        scheduler_opt(p)
+        parallel_sim_opt(p)
         observability(p)
 
     p = sub.add_parser("table1", help="ADL log caching-potential analysis")
@@ -929,6 +962,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--clients", type=int, default=16)
     p.add_argument("--output", help="also write the report to this file")
+    scheduler_opt(p)
+    parallel_sim_opt(p)
     observability(p)
     p.set_defaults(func=_cmd_run_config)
 
@@ -1116,6 +1151,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-warn-only", action="store_true",
         help="report regressions but always exit 0 (for noisy machines)",
     )
+    scheduler_opt(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("all", help="regenerate every table and figure")
@@ -1124,6 +1160,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the sweep-style tables/figures",
     )
+    scheduler_opt(p)
+    parallel_sim_opt(p)
     p.set_defaults(func=_cmd_all)
 
     return parser
@@ -1131,6 +1169,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler:
+        # Process-global: every Simulator the command creates (including
+        # those inside --jobs worker processes, which receive the name
+        # via the pool initializer) uses this pending-event set.
+        from .sim import set_default_scheduler
+
+        set_default_scheduler(scheduler)
+    partitions = getattr(args, "parallel_sim", None)
+    if partitions:
+        # Same process-global pattern as --scheduler: cluster-run helpers
+        # deep inside experiment code consult it via sim_partitions().
+        from .sim.pdes import set_sim_partitions
+
+        set_sim_partitions(partitions, getattr(args, "sim_backend", None) or "auto")
     with _observability(args):
         return args.func(args)
 

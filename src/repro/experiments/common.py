@@ -230,9 +230,32 @@ def run_cluster_trace(
 
     Client threads are dealt round-robin over nodes, each pinned to one
     node (the paper's client arrangement).
+
+    When ``--parallel-sim`` set a process-global partition count (see
+    :func:`repro.sim.pdes.set_sim_partitions`), the run is sharded over
+    that many simulators under conservative synchronization instead —
+    same workload, same timeline, merged results.  Observed runs
+    (``--trace-out`` etc.) always take the serial path: the observability
+    taps assume one simulator.
     """
-    sim = Simulator()
+    from ..sim.pdes import sim_partitions
+
+    n_shards, backend = sim_partitions()
     config = SwalaConfig(mode=mode, **(config_kw or {}))
+    if n_shards > 1 and n_nodes > 1 and current_observer() is None:
+        from .partition import run_partitioned_fleet
+
+        return run_partitioned_fleet(
+            n_nodes,
+            config,
+            trace,
+            n_threads=n_threads,
+            n_hosts=n_hosts,
+            costs=costs,
+            n_shards=n_shards,
+            backend=backend,
+        )
+    sim = Simulator()
     cluster = SwalaCluster(sim, n_nodes, config, costs=costs)
     cluster.install_files(trace)
     observer = current_observer()

@@ -34,10 +34,31 @@ class Table3Row:
 
 def _run_one(n_nodes: int, mode: CacheMode, n_requests: int, cpu_time: float,
              costs: Optional[MachineCosts]) -> float:
+    trace = unique_cgi_trace(n_requests, cpu_time=cpu_time)
+    from ..obs.runtime import current_observer
+    from ..sim.pdes import sim_partitions
+
+    n_shards, backend = sim_partitions()
+    if n_shards > 1 and n_nodes > 1 and current_observer() is None:
+        # Partitioned twin: the same single client pinned to node 0, the
+        # broadcasts fanning out across shards.
+        from .partition import run_partitioned_fleet
+
+        times, _ = run_partitioned_fleet(
+            n_nodes,
+            SwalaConfig(mode=mode),
+            trace,
+            n_threads=1,
+            n_hosts=1,
+            costs=costs,
+            install=False,
+            n_shards=n_shards,
+            backend=backend,
+        )
+        return times.mean
     sim = Simulator()
     cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode), costs=costs)
     cluster.start()
-    trace = unique_cgi_trace(n_requests, cpu_time=cpu_time)
     client = ClientThread(
         sim, cluster.network, "client0", cluster.node_names[0], list(trace)
     )

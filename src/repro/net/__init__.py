@@ -1,6 +1,6 @@
 """Switched-LAN substrate: NIC serialization + latency, ports, broadcast."""
 
 from .message import Message
-from .network import LAN_100MBIT, Network, UnknownPort
+from .network import DEFAULT_LATENCY, LAN_100MBIT, Network, UnknownPort
 
-__all__ = ["Message", "Network", "UnknownPort", "LAN_100MBIT"]
+__all__ = ["Message", "Network", "UnknownPort", "LAN_100MBIT", "DEFAULT_LATENCY"]

@@ -32,10 +32,14 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..sim import Event, Resource, Simulator, Store, Tally
 from .message import Message
 
-__all__ = ["Network", "UnknownPort", "LAN_100MBIT"]
+__all__ = ["Network", "UnknownPort", "LAN_100MBIT", "DEFAULT_LATENCY"]
 
 #: 100 Mbit/s Ethernet in bytes/second.
 LAN_100MBIT = 100e6 / 8
+
+#: Default propagation/switching latency (seconds).  Also the lookahead
+#: bound for conservative parallel runs, so it must stay positive.
+DEFAULT_LATENCY = 0.0001
 
 
 class UnknownPort(KeyError):
@@ -48,7 +52,7 @@ class Network:
     def __init__(
         self,
         sim: Simulator,
-        latency: float = 0.0001,
+        latency: float = DEFAULT_LATENCY,
         bandwidth: float = LAN_100MBIT,
         name: str = "lan",
         loss_rate: float = 0.0,
@@ -92,6 +96,15 @@ class Network:
         #: are created lazily — late :meth:`attach`/:meth:`register`
         #: calls must instrument their new resources too.
         self.profiler = None
+        #: Optional :class:`~repro.sim.pdes.Router`.  When set, sends to
+        #: hosts this network has never heard of are forwarded to the
+        #: router instead of raising — that is how a partitioned cluster
+        #: (conservative parallel DES) reaches hosts living on another
+        #: shard.  The sender-side physics (NIC serialization, latency,
+        #: loss is disallowed, counters, the delivery event) all still
+        #: happen here, so a message's timeline is identical whether its
+        #: destination is local or remote.
+        self.router = None
 
     def attach_profiler(self, profiler) -> None:
         """Probe every NIC and port mailbox, present and future."""
@@ -127,6 +140,32 @@ class Network:
         except KeyError:
             raise UnknownPort(f"{host}:{port}") from None
 
+    def _unreachable(self, dst: str, port: str) -> bool:
+        """True when nobody — local port table or router — can take this.
+
+        Remote reachability is validated per *host*: ports are registered
+        lazily on their home shard (reply mailboxes appear just before the
+        send that announces them), so a sender shard cannot see them.  A
+        genuinely missing remote port still raises :class:`UnknownPort`,
+        just at delivery time via :meth:`inject` instead of at send time.
+        """
+        if (dst, port) in self._ports:
+            return False
+        return self.router is None or not self.router.routes(dst)
+
+    def inject(self, msg: Message) -> None:
+        """Deliver a message that was sent from another shard.
+
+        Called (via a scheduled timeout) by the PDES shard runtime at the
+        delivery instant the *sender* computed; only the mailbox deposit
+        happens here — the sender already did the accounting, so merged
+        per-shard counters equal the serial run's.
+        """
+        box = self._ports.get((msg.dst, msg.port))
+        if box is None:
+            raise UnknownPort(f"{msg.dst}:{msg.port}")
+        box.put(msg)
+
     # -- tracing --------------------------------------------------------------
     def _hop_span(self, parent, src: str, dst: str, port: str, size: int):
         if self.tracer is None or parent is None:
@@ -160,7 +199,7 @@ class Network:
         """
         if size < 0:
             raise ValueError(f"negative message size {size}")
-        if (dst, port) not in self._ports:
+        if self._unreachable(dst, port):
             raise UnknownPort(f"{dst}:{port}")
         self.attach(src)
         msg = Message(
@@ -225,9 +264,31 @@ class Network:
                 self.oracle.message_dropped(msg)
             delivered.succeed(None)  # dropped: delivery event reports None
             return
+        router = self.router
+        if router is not None and (msg.dst, msg.port) not in self._ports:
+            # Cross-shard: hand the copy to the coordinator with its exact
+            # delivery instant (the LAN latency is the lookahead bound that
+            # makes the handoff safe) and keep the sender-side accounting
+            # and delivery event on the local timeline.
+            msg.deliver_time = self.sim.now + self.latency
+            router.emit(msg)
+            self.sim.timeout(self.latency).callbacks.append(
+                partial(self._account_remote, msg, delivered, span)
+            )
+            return
         self.sim.timeout(self.latency).callbacks.append(
             partial(self._deliver, msg, delivered, span)
         )
+
+    def _account_remote(self, msg: Message, delivered: Event, span, _evt=None) -> None:
+        """Sender-side tail of a cross-shard delivery: everything
+        :meth:`_deliver` does except the (remote) mailbox deposit."""
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        self.transit_times.observe(msg.in_flight_time)
+        if span is not None:
+            span.close(self.sim.now)
+        delivered.succeed(msg)
 
     def _deliver(self, msg: Message, delivered: Event, span, _evt=None) -> None:
         msg.deliver_time = self.sim.now
@@ -258,7 +319,7 @@ class Network:
             raise ValueError(f"negative message size {size}")
         dsts = list(dsts)
         for dst in dsts:
-            if (dst, port) not in self._ports:
+            if self._unreachable(dst, port):
                 raise UnknownPort(f"{dst}:{port}")
         if not dsts:
             return []
@@ -314,7 +375,7 @@ class Network:
         for dst in dsts:
             if size < 0:
                 raise ValueError(f"negative message size {size}")
-            if (dst, port) not in self._ports:
+            if self._unreachable(dst, port):
                 raise UnknownPort(f"{dst}:{port}")
             self.attach(src)
             msg = Message(

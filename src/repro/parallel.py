@@ -57,6 +57,34 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     ]
 
 
+def _init_worker(scheduler: str, partitions: int, backend: str) -> None:
+    """Pool initializer: re-apply the parent's simulation-policy knobs.
+
+    The default event-scheduler and the ``--parallel-sim`` partitioning
+    are process-global state (see :mod:`repro.sim.queues` /
+    :mod:`repro.sim.pdes`), so worker processes must receive them by
+    value — an experiment sharded over ``--jobs`` then builds the same
+    simulators the serial run would.
+    """
+    from .sim import set_default_scheduler
+    from .sim.pdes import set_sim_partitions
+
+    set_default_scheduler(scheduler)
+    set_sim_partitions(partitions, backend)
+
+
+def _pool(n_workers: int) -> ProcessPoolExecutor:
+    from .sim import default_scheduler
+    from .sim.pdes import sim_partitions
+
+    partitions, backend = sim_partitions()
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(default_scheduler(), partitions, backend),
+    )
+
+
 def _call_cell(payload):
     fn, params = payload
     start = time.perf_counter()
@@ -82,7 +110,7 @@ def run_grid(
     if n_workers <= 1:
         outcomes = [_call_cell(p) for p in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        with _pool(n_workers) as pool:
             outcomes = list(pool.map(_call_cell, payloads))
     return [
         GridResult(params=params, value=value, elapsed=elapsed)
@@ -103,5 +131,5 @@ def map_parallel(
         n_workers = min(len(items), os.cpu_count() or 1)
     if n_workers <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    with _pool(n_workers) as pool:
         return list(pool.map(fn, items))

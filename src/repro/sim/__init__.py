@@ -16,7 +16,23 @@ from .engine import (
     Timeout,
 )
 from .monitor import Tally, TimeSeries
+from .pdes import (
+    ConservativeCoordinator,
+    set_sim_partitions,
+    sim_partitions,
+    using_partitions,
+)
 from .probes import EventTracer, sample
+from .queues import (
+    SCHEDULERS,
+    CalendarQueue,
+    HeapQueue,
+    LadderQueue,
+    default_scheduler,
+    make_queue,
+    set_default_scheduler,
+    using_scheduler,
+)
 from .resources import ProcessorSharing, Request, Resource, Store
 from .rng import RandomStreams
 from .sync import Lock, RWLock, Semaphore
@@ -30,6 +46,18 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "StopSimulation",
+    "HeapQueue",
+    "CalendarQueue",
+    "LadderQueue",
+    "SCHEDULERS",
+    "make_queue",
+    "default_scheduler",
+    "set_default_scheduler",
+    "using_scheduler",
+    "ConservativeCoordinator",
+    "sim_partitions",
+    "set_sim_partitions",
+    "using_partitions",
     "Resource",
     "Request",
     "Store",

@@ -12,8 +12,9 @@ seed produce identical event orderings.
 
 from __future__ import annotations
 
-from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Generator, Iterable, Optional
+
+from .queues import make_queue
 
 __all__ = [
     "Simulator",
@@ -104,7 +105,7 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        _heappush(sim._queue, (sim._now, NORMAL, sim._seq, self))
+        sim._qpush((sim._now, NORMAL, sim._seq, self))
         sim._seq += 1
         return self
 
@@ -166,7 +167,7 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        _heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._qpush((sim._now + delay, NORMAL, sim._seq, self))
         sim._seq += 1
 
 
@@ -396,16 +397,30 @@ def _stop_simulation(event: Event) -> None:
 
 
 class Simulator:
-    """The event loop: a priority queue of ``(time, prio, seq, event)``."""
+    """The event loop: a priority queue of ``(time, prio, seq, event)``.
+
+    ``queue`` selects the pending-event set implementation (see
+    :mod:`repro.sim.queues`); the default binary heap is right for most
+    models, the calendar/ladder queues win on very large event
+    populations.  All of them pop in identical ``(time, priority,
+    sequence)`` order, so the choice never changes simulation results.
+    """
 
     __slots__ = (
-        "_now", "_queue", "_seq", "_ticks", "_active_process", "step_hooks",
-        "_anon",
+        "_now", "_queue", "_qpush", "_seq", "_ticks", "_active_process",
+        "step_hooks", "_anon",
     )
 
-    def __init__(self):
+    def __init__(self, queue=None):
         self._now: float = 0.0
-        self._queue: list = []
+        # No explicit queue: build the process-global default (normally
+        # the heap; the --scheduler flag rebinds it, see repro.sim.queues).
+        self._queue = queue if queue is not None else make_queue()
+        #: Bound push, looked up once: scheduling is the hottest call in
+        #: the engine and ``HeapQueue.push`` is a partial over the C
+        #: heappush, so this keeps the default's dispatch cost at the
+        #: pre-refactor inlined-heap level.
+        self._qpush = self._queue.push
         self._seq: int = 0
         self._ticks: int = 0
         self._active_process: Optional[Process] = None
@@ -476,9 +491,26 @@ class Simulator:
         timeout._ok = True
         timeout._defused = False
         timeout.delay = delay
-        _heappush(self._queue, (self._now + delay, NORMAL, self._seq, timeout))
+        self._qpush((self._now + delay, NORMAL, self._seq, timeout))
         self._seq += 1
         return timeout
+
+    def schedule_at(self, at: float, value: Any = None) -> Event:
+        """Schedule a pre-succeeded event at an *absolute* instant.
+
+        ``timeout(at - now)`` fires at ``now + (at - now)``, which float
+        rounding can put one ulp off ``at``.  Cross-shard message
+        injection (:mod:`repro.sim.pdes`) needs the delivery instant
+        bit-equal to the serial run's, so it schedules absolutely.
+        """
+        if at < self._now:
+            raise ValueError(f"at ({at}) must not be before now ({self._now})")
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self._qpush((at, NORMAL, self._seq, event))
+        self._seq += 1
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -491,21 +523,23 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        _heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
-        )
+        self._qpush((self._now + delay, priority, self._seq, event))
         self._seq += 1
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled live event, or ``inf`` if none.
+
+        Cancelled-but-unpurged entries at the queue head are skipped
+        uniformly across all queue implementations.
+        """
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process the single next event."""
-        queue = self._queue
-        if not queue:
-            raise StopSimulation("no scheduled events")
-        self._now, _, _, event = _heappop(queue)
+        try:
+            self._now, _, _, event = self._queue.pop()
+        except IndexError:
+            raise StopSimulation("no scheduled events") from None
 
         self._ticks += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -519,6 +553,42 @@ class Simulator:
         if not event._ok and not event._defused:
             # Nobody handled the failure: crash the simulation.
             raise event._value
+
+    def run_window(self, horizon: float) -> int:
+        """Process every event strictly before ``horizon``; return the count.
+
+        The window primitive for conservative parallel simulation (see
+        :mod:`repro.sim.pdes`): a shard repeatedly runs the window its
+        coordinator proved safe.  Events at or after ``horizon`` stay
+        queued — the one overshooting pop is pushed straight back, which
+        every queue implementation accepts because the entry's key equals
+        the last popped key (never earlier).  Unlike :meth:`run`, an
+        exhausted queue just ends the window: more events may arrive by
+        cross-shard injection before the next one.
+        """
+        queue = self._queue
+        hooks = self.step_hooks
+        processed = 0
+        while True:
+            try:
+                item = queue.pop()
+            except IndexError:
+                return processed
+            if item[0] >= horizon:
+                queue.push(item)
+                return processed
+            self._now, _, _, event = item
+            self._ticks += 1
+            processed += 1
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if hooks:
+                for hook in hooks:
+                    hook(self._now, event)
+            if not event._ok and not event._defused:
+                # Nobody handled the failure: crash the simulation.
+                raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run until the queue drains, time ``until``, or event ``until``.
@@ -546,19 +616,25 @@ class Simulator:
                 target_event._ok = True
                 target_event._value = None
                 target_event.callbacks.append(_stop_simulation)
-                _heappush(self._queue, (at, URGENT, self._seq, target_event))
+                self._qpush((at, URGENT, self._seq, target_event))
                 self._seq += 1
 
         # The step() loop, inlined with local bindings: this is the hottest
         # loop in the whole reproduction.  Must stay behaviorally identical
         # to step() — same (time, priority, sequence) pop order, same
-        # callback/hook/failure sequence.
+        # callback/hook/failure sequence.  ``queue.pop`` is looked up per
+        # iteration on purpose: cancelling an entry swaps the queue's pop
+        # to a cancellation-skipping variant, and a loop-hoisted binding
+        # would keep returning cancelled events.  The queue signals
+        # exhaustion with IndexError (cost-free in the non-raising case).
         queue = self._queue
-        pop = _heappop
         hooks = self.step_hooks
         try:
-            while queue:
-                self._now, _, _, event = pop(queue)
+            while True:
+                try:
+                    self._now, _, _, event = queue.pop()
+                except IndexError:
+                    break
                 self._ticks += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:

@@ -67,7 +67,10 @@ class Tally:
         lo = int(math.floor(pos))
         hi = min(lo + 1, len(data) - 1)
         frac = pos - lo
-        return data[lo] * (1 - frac) + data[hi] * frac
+        # data[lo] + frac * delta (not the two-product lerp): exact when
+        # the bracketing samples are equal, and always bounded by them --
+        # the symmetric form can round denormals non-monotonically.
+        return data[lo] + frac * (data[hi] - data[lo])
 
     def to_dict(self) -> dict:
         """JSON-safe summary: NaN fields (empty tally) become ``None``.
