@@ -16,6 +16,9 @@ from repro.bench import (
     bench_broadcast_storm,
     bench_broadcast_storm_unicast,
     bench_cache_store,
+    bench_directory_sync,
+    bench_directory_sync_bloom,
+    bench_directory_sync_digest,
     bench_event_dispatch,
     bench_eviction_sweep,
     bench_eviction_sweep_scan,
@@ -68,3 +71,18 @@ def test_perf_broadcast_storm(benchmark):
 def test_perf_broadcast_storm_unicast(benchmark):
     """Same storm through the replicated-unicast reference (A/B baseline)."""
     assert benchmark(bench_broadcast_storm_unicast) > 0
+
+
+def test_perf_directory_sync(benchmark):
+    """Update-heavy cooperative fleet under the insert broadcast."""
+    assert benchmark(bench_directory_sync) > 0
+
+
+def test_perf_directory_sync_digest(benchmark):
+    """Same fleet syncing directories with periodic cache digests."""
+    assert benchmark(bench_directory_sync_digest) > 0
+
+
+def test_perf_directory_sync_bloom(benchmark):
+    """Same fleet syncing directories with batched Bloom deltas."""
+    assert benchmark(bench_directory_sync_bloom) > 0

@@ -49,6 +49,9 @@ __all__ = [
     "bench_stack_distances",
     "bench_broadcast_storm",
     "bench_broadcast_storm_unicast",
+    "bench_directory_sync",
+    "bench_directory_sync_digest",
+    "bench_directory_sync_bloom",
     "bench_scheduler_stress_heap",
     "bench_scheduler_stress_calendar",
     "bench_scheduler_stress_ladder",
@@ -223,6 +226,53 @@ def bench_broadcast_storm_unicast() -> int:
     return _broadcast_storm(flatten=False)
 
 
+def _directory_sync(protocol: str, n_nodes: int = 24,
+                    n_requests: int = 900) -> int:
+    """Update-heavy cooperative fleet under one dirsync protocol.
+
+    Mostly-unique short CGIs, so nearly every request inserts and the
+    directory-sync path (broadcast fan-out vs summary coalescing in
+    :mod:`repro.core.dirsync`) dominates the messaging work.  The A/B/C
+    triplet shares this workload exactly; only the protocol differs.
+    """
+    sim = Simulator()
+    cluster = SwalaCluster(
+        sim, n_nodes,
+        SwalaConfig(
+            mode=CacheMode.COOPERATIVE,
+            directory_protocol=protocol,
+            digest_interval=2.0,
+            indicator_batch=16,
+            indicator_max_delay=2.0,
+        ),
+    )
+    cluster.start()
+    trace = zipf_cgi_trace(n_requests, 800, zipf=0.6, cpu_time_mean=0.05,
+                           seed=5)
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names,
+        n_threads=n_nodes, n_hosts=4,
+    )
+    times = fleet.run()
+    assert times.count == n_requests
+    return sim.ticks
+
+
+def bench_directory_sync() -> int:
+    """Directory churn under the paper's O(N^2) insert broadcast."""
+    return _directory_sync("broadcast")
+
+
+def bench_directory_sync_digest() -> int:
+    """A/B twin of :func:`bench_directory_sync` on periodic cache digests."""
+    return _directory_sync("digest")
+
+
+def bench_directory_sync_bloom() -> int:
+    """A/B twin of :func:`bench_directory_sync` on batched Bloom deltas."""
+    return _directory_sync("bloom")
+
+
 # Pre-drawn timestamp increments for the scheduler stress family, cached
 # so the (identical) random-draw cost lands in the warmup round instead
 # of diluting every measured round with RNG time that is the same for
@@ -370,6 +420,9 @@ BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "stack_distances": bench_stack_distances,
     "broadcast_storm": bench_broadcast_storm,
     "broadcast_storm_unicast": bench_broadcast_storm_unicast,
+    "directory_sync": bench_directory_sync,
+    "directory_sync_digest": bench_directory_sync_digest,
+    "directory_sync_bloom": bench_directory_sync_bloom,
     "scheduler_stress_heap": bench_scheduler_stress_heap,
     "scheduler_stress_calendar": bench_scheduler_stress_calendar,
     "scheduler_stress_ladder": bench_scheduler_stress_ladder,

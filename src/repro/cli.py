@@ -202,9 +202,33 @@ def _cmd_figure4(args) -> int:
 
 
 def _cmd_table3(args) -> int:
-    rows = ex.run_table3(node_counts=tuple(args.nodes), n_requests=args.requests)
+    rows = ex.run_table3(
+        node_counts=tuple(args.nodes), n_requests=args.requests,
+        directory=args.directory,
+    )
     _emit(ex.render_table3(rows), args.output)
     _export(rows, args)
+    return 0
+
+
+def _cmd_directory_grid(args) -> int:
+    cells = ex.run_directory_grid(
+        node_counts=tuple(args.nodes),
+        protocols=tuple(args.protocols),
+        mixes=tuple(args.mixes),
+        n_threads=args.threads,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    _emit(ex.render_directory_grid(cells), args.output)
+    if args.json_out:
+        import json as _json
+
+        Path(args.json_out).write_text(
+            _json.dumps(ex.grid_to_dicts(cells), indent=2) + "\n"
+        )
+        print(f"(cells written to {args.json_out})")
+    _export(cells, args)
     return 0
 
 
@@ -733,7 +757,23 @@ def _cmd_bench(args) -> int:
     report = _bench.write_bench_report(results, out)
     print(f"\n(report written to {out}; peak RSS {report['peak_rss_kb']} kB)")
     if args.compare:
-        snap_path = Path(args.compare)
+        if args.compare == "auto":
+            # Bare --compare: newest committed snapshot by date-stamped
+            # name (the same rule CI uses), never the report just written.
+            candidates = sorted(
+                c for c in Path(".").glob("BENCH_2*.json")
+                if c.resolve() != out.resolve()
+            )
+            if not candidates:
+                print(
+                    "error: --compare found no committed BENCH_2*.json "
+                    "in the current directory",
+                    file=sys.stderr,
+                )
+                return 2
+            snap_path = candidates[-1]
+        else:
+            snap_path = Path(args.compare)
         if not snap_path.exists():
             print(f"error: no such snapshot: {snap_path}", file=sys.stderr)
             return 2
@@ -906,7 +946,42 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--nodes", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7, 8])
     p.add_argument("--requests", type=int, default=180)
+    p.add_argument(
+        "--directory", choices=["broadcast", "digest", "bloom"],
+        default="broadcast",
+        help="directory-sync protocol for the cooperative runs "
+        "(default: the paper's broadcast)",
+    )
     p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser(
+        "directory-grid",
+        help="directory-protocol cost grid: broadcast vs digest vs Bloom "
+        "deltas across cluster sizes",
+    )
+    common(p)
+    p.add_argument(
+        "--nodes", type=int, nargs="+", default=[8, 64, 256, 1024],
+        help="cluster sizes to sweep (1024 pairs well with --parallel-sim)",
+    )
+    p.add_argument(
+        "--protocols", nargs="+", default=["broadcast", "digest", "bloom"],
+        choices=["broadcast", "digest", "bloom"],
+    )
+    p.add_argument(
+        "--mixes", nargs="+", default=["webstone", "adl"],
+        choices=["webstone", "adl"],
+    )
+    p.add_argument(
+        "--threads", type=int, default=64,
+        help="client threads == max active nodes (default 64)",
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink both workload mixes proportionally (smoke runs)",
+    )
+    p.add_argument("--json-out", help="write per-cell records as JSON")
+    p.set_defaults(func=_cmd_directory_grid)
 
     p = sub.add_parser("table4", help="directory-update overhead")
     common(p)
@@ -1138,9 +1213,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="report path (default BENCH_<date>.json in the current dir)",
     )
     p.add_argument(
-        "--compare", metavar="SNAPSHOT",
+        "--compare", metavar="SNAPSHOT", nargs="?", const="auto",
         help="compare events/sec against a committed BENCH_*.json and "
-        "exit 1 on regression beyond --compare-threshold",
+        "exit 1 on regression beyond --compare-threshold; with no "
+        "SNAPSHOT, the newest committed BENCH_2*.json is used",
     )
     p.add_argument(
         "--compare-threshold", type=float, default=0.25, metavar="FRAC",

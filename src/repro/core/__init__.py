@@ -10,6 +10,15 @@ from .config import CacheMode, LockingGranularity, SwalaConfig
 from .configfile import TtlRules, load_config, make_prefix_rule, parse_config
 from .cluster import SwalaCluster
 from .directory import CacheDirectory
+from .dirsync import (
+    DIRECTORY_PROTOCOLS,
+    BloomSync,
+    BroadcastSync,
+    CountingBloomFilter,
+    DigestSync,
+    DirectorySync,
+    make_directory_sync,
+)
 from .invalidation import (
     INVALIDATE_MSG_BYTES,
     INVALIDATION_PORT,
@@ -23,11 +32,13 @@ from .protocol import (
     HTTP_REQUEST_BYTES,
     HTTP_RESPONSE_HEADER_BYTES,
     CacheDelete,
+    CacheDigest,
     CacheInsert,
     FetchReply,
     FetchRequest,
     HttpConnection,
     HttpResponse,
+    IndicatorDeltas,
 )
 from .server import SwalaServer
 from .stats import ClusterStats, NodeStats
@@ -44,12 +55,21 @@ __all__ = [
     "LockingGranularity",
     "CacherModule",
     "CacheDirectory",
+    "DirectorySync",
+    "BroadcastSync",
+    "DigestSync",
+    "BloomSync",
+    "CountingBloomFilter",
+    "make_directory_sync",
+    "DIRECTORY_PROTOCOLS",
     "NodeStats",
     "ClusterStats",
     "HttpConnection",
     "HttpResponse",
     "CacheInsert",
     "CacheDelete",
+    "CacheDigest",
+    "IndicatorDeltas",
     "FetchRequest",
     "FetchReply",
     "UPDATE_PORT",

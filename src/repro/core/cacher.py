@@ -3,14 +3,20 @@
 One per Swala node.  Owns the local cache store and the replicated
 directory, and runs the three daemon threads the paper describes:
 
-1. the **update receiver** — applies insert/delete broadcasts from peers to
-   the local directory;
+1. the **update receiver** — applies directory-sync messages from peers
+   (insert/delete broadcasts, or the digest/Bloom indicator messages of
+   :mod:`repro.core.dirsync`);
 2. the **fetch server** — listens for data requests from peers and starts a
    separate thread per request to return cached contents;
 3. the **purger** — wakes every few seconds and deletes expired entries.
 
 Request threads call into this module for classification, local/remote
 fetches, and miss-side insertion (Fig. 2).
+
+*How* peers learn about inserts/deletes — and *what* this node knows
+about peers — is delegated to a :class:`~repro.core.dirsync.DirectorySync`
+strategy selected by ``SwalaConfig.directory_protocol``; the default
+(the paper's broadcast) is bit-identical to the pre-seam code path.
 """
 
 from __future__ import annotations
@@ -25,14 +31,12 @@ from ..sim import Event, Simulator, Store
 from ..workload import Request
 from .config import CacheMode, SwalaConfig
 from .directory import CacheDirectory
+from .dirsync import UPDATE_PORT, make_directory_sync
 from .invalidation import INVALIDATE_MSG_BYTES, INVALIDATION_PORT, InvalidateUrl
 from .protocol import (
-    DIRECTORY_UPDATE_BYTES,
     FETCH_HEADER_BYTES,
     FETCH_MISS_BYTES,
     FETCH_REQUEST_BYTES,
-    CacheDelete,
-    CacheInsert,
     FetchReply,
     FetchRequest,
 )
@@ -40,9 +44,9 @@ from .stats import NodeStats
 
 __all__ = ["CacherModule", "UPDATE_PORT", "FETCH_PORT"]
 
-#: Port the update receiver listens on.
-UPDATE_PORT = "cache-update"
-#: Port the fetch server listens on.
+#: Port the fetch server listens on.  (The update receiver's
+#: ``UPDATE_PORT`` now lives with the sync strategies in ``dirsync`` and
+#: is re-exported here for compatibility.)
 FETCH_PORT = "cache-fetch"
 
 _fetch_ids = itertools.count()
@@ -71,8 +75,16 @@ class CacherModule:
         self.store = CacheStore(
             machine.fs, config.cache_capacity, policy=config.policy, owner=name
         )
+        # Indicator protocols keep peer knowledge in compact per-peer
+        # views (inside the sync strategy), so the directory only needs
+        # the node's own authoritative table — at 1024 nodes that is the
+        # difference between O(cache) and O(N x cache) objects per node.
+        if config.cooperative and config.directory_protocol != "broadcast":
+            directory_nodes = [name]
+        else:
+            directory_nodes = node_names
         self.directory = CacheDirectory(
-            machine, name, node_names, locking=config.locking
+            machine, name, directory_nodes, locking=config.locking
         )
         self._update_box: Store = network.register(name, UPDATE_PORT)
         self._fetch_box: Store = network.register(name, FETCH_PORT)
@@ -92,6 +104,14 @@ class CacherModule:
         #: server's ``attach_profiler``); the span helpers feed its
         #: :class:`~repro.sim.probes.SpanLinker` in interval mode.
         self.profiler = None
+        #: The directory-synchronization strategy (broadcast / digest /
+        #: bloom); owns all peer-facing metadata traffic and peer views.
+        self.sync = make_directory_sync(self)
+
+    def attach_oracle(self, oracle) -> None:
+        """Audit consistency into ``oracle`` (zero-cost when off)."""
+        self.oracle = oracle
+        self.sync.oracle_attached(oracle)
 
     def attach_profiler(self, profiler) -> None:
         """Register the directory's RWLocks for contention scraping.
@@ -131,35 +151,15 @@ class CacherModule:
         self.sim.process(self._invalidation_listener(), name=f"{self.name}.inv")
         if self.config.dependencies is not None:
             self.sim.process(self._source_monitor(), name=f"{self.name}.mon")
+        self.sync.start()
 
     # -- daemons ------------------------------------------------------------
     def _update_receiver(self):
-        """Daemon 1: apply peer insert/delete broadcasts to the directory."""
+        """Daemon 1: apply peer directory-sync messages (broadcast
+        records, digests, or delta batches — the strategy knows)."""
         while True:
             msg = yield self._update_box.get()
-            update = msg.payload
-            if isinstance(update, CacheInsert):
-                entry = update.entry.replica()
-                if self.store.get(entry.url) is not None:
-                    # We executed + cached this too: a false miss happened
-                    # and the result now lives on two nodes.  (This detection
-                    # is disjoint from the insert-time check in
-                    # ``insert_result``: only one of the two windows can see
-                    # any given duplicate, so the count never double-fires.)
-                    self.stats.double_cached += 1
-                    self.stats.false_misses += 1
-                    if self.oracle is not None:
-                        self.oracle.observe_double_cached(
-                            self.name, entry.url, update, msg, self.sim.now
-                        )
-                yield from self.directory.insert(entry)
-            elif isinstance(update, CacheDelete):
-                yield from self.directory.delete(update.url, update.owner)
-            else:  # pragma: no cover - protocol misuse
-                raise TypeError(f"unexpected update {update!r}")
-            self.stats.updates_applied += 1
-            if self.oracle is not None:
-                self.oracle.broadcast_applied(self.name, update, msg, self.sim.now)
+            yield from self.sync.handle_update(msg.payload, msg)
 
     def _fetch_server(self):
         """Daemon 2: per fetch request, start a thread to return contents."""
@@ -211,7 +211,7 @@ class CacherModule:
                 if self.oracle is not None:
                     self.oracle.shadow_remove(self.name, entry.url, "ttl", now)
                 yield from self.directory.delete(entry.url, self.name)
-                yield from self._broadcast(CacheDelete(url=entry.url, owner=self.name))
+                yield from self.sync.announce_delete(entry.url)
 
     def _invalidation_listener(self):
         """Daemon 4: handle application-initiated invalidation messages."""
@@ -270,19 +270,14 @@ class CacherModule:
             if self.oracle is not None:
                 self.oracle.shadow_remove(self.name, url, "invalidated", self.sim.now)
             yield from self.directory.delete(url, self.name)
-            yield from self._broadcast(CacheDelete(url=url, owner=self.name))
+            yield from self.sync.announce_delete(url)
             return
         if forward:
-            owner_entry = None
-            for node in self.directory.node_order:
-                candidate = self.directory.table(node).get(url)
-                if candidate is not None and candidate.owner != self.name:
-                    owner_entry = candidate
-                    break
-            if owner_entry is not None:
+            owner = self.sync.find_owner(url)
+            if owner is not None:
                 self.network.send(
                     self.name,
-                    owner_entry.owner,
+                    owner,
                     INVALIDATION_PORT,
                     InvalidateUrl(url=url, sender=self.name),
                     INVALIDATE_MSG_BYTES,
@@ -297,13 +292,15 @@ class CacherModule:
         return cacheable
 
     def lookup(self, url: str, span=None) -> Generator:
-        """Process: directory lookup; returns a live entry or ``None``."""
+        """Process: directory/indicator lookup; returns a live entry or
+        ``None``.  Under indicator protocols a remote answer is a
+        synthetic entry naming the believed owner."""
         if span is None or self.tracer is None:
-            result = yield from self.directory.lookup(url, self.sim.now)
+            result = yield from self.sync.lookup(url, self.sim.now)
             return result
         child = self._span(span, "lookup", "cpu")
         try:
-            result = yield from self.directory.lookup(url, self.sim.now)
+            result = yield from self.sync.lookup(url, self.sim.now)
         finally:
             self._end_span(child)
         if child is not None:
@@ -445,7 +442,7 @@ class CacherModule:
         now = self.sim.now
         child = self._span(span, "insert", "cpu")
         try:
-            if self.config.cooperative and self.directory.has_elsewhere(request.url):
+            if self.config.cooperative and self.sync.has_elsewhere(request.url):
                 # A peer cached this while we were executing: type-2 false miss.
                 self.stats.false_misses += 1
                 if audit is not None:
@@ -476,11 +473,9 @@ class CacherModule:
                 self.stats.evictions += 1
                 yield from self.directory.delete(victim.url, self.name)
             if self.config.cooperative:
-                yield from self._broadcast(CacheInsert(entry=entry.replica()), child)
+                yield from self.sync.announce_insert(entry, child)
                 for victim in evicted:
-                    yield from self._broadcast(
-                        CacheDelete(url=victim.url, owner=self.name), child
-                    )
+                    yield from self.sync.announce_delete(victim.url, child)
         finally:
             self._end_span(child)
         return entry
@@ -495,27 +490,7 @@ class CacherModule:
             if self.oracle is not None:
                 self.oracle.shadow_remove(self.name, entry.url, "flush", self.sim.now)
             yield from self.directory.delete(entry.url, self.name)
-            yield from self._broadcast(CacheDelete(url=entry.url, owner=self.name))
-
-    def _broadcast(self, update, span=None) -> Generator:
-        """Process: send one directory update to every peer."""
-        if not self.peers:
-            return
-        if self.oracle is not None:
-            self.oracle.broadcast_sent(self.name, update, self.peers, self.sim.now)
-        child = self._span(span, "broadcast", "cpu")
-        try:
-            yield self.machine.compute(
-                self.machine.costs.broadcast_per_peer_cpu * len(self.peers)
-            )
-            # Pass the span along so each directory-update hop shows up as
-            # a child of this broadcast in `repro trace` output.
-            self.network.broadcast(
-                self.name, self.peers, UPDATE_PORT, update,
-                DIRECTORY_UPDATE_BYTES, parent=child,
-            )
-        finally:
-            self._end_span(child, peers=len(self.peers))
+            yield from self.sync.announce_delete(entry.url)
 
     def __repr__(self) -> str:
         return f"<CacherModule {self.name!r} store={len(self.store)}/{self.store.capacity}>"

@@ -71,6 +71,23 @@ class SwalaConfig:
     n_threads: int = 32
     #: Directory locking granularity (§4.2 ablation; TABLE is the paper's).
     locking: LockingGranularity = LockingGranularity.TABLE
+    #: How peers learn what this node caches (see
+    #: :mod:`repro.core.dirsync`): "broadcast" is the paper's per-update
+    #: async broadcast; "digest" sends periodic full-cache summaries;
+    #: "bloom" maintains counting-Bloom-filter indicators via batched
+    #: deltas.  Only meaningful in cooperative mode.
+    directory_protocol: str = "broadcast"
+    #: Refresh period of the digest protocol, seconds.
+    digest_interval: float = 5.0
+    #: Cluster-wide false-positive bound of one Bloom-indicator probe
+    #: sweep (the per-peer filters are sized so that scanning *all* of
+    #: them stays under this, via a union bound).
+    indicator_fp_rate: float = 0.01
+    #: Flush a Bloom delta batch once this many updates queue up.
+    indicator_batch: int = 32
+    #: ... or once the oldest queued delta is this old, seconds (bounds
+    #: indicator staleness when the update rate is low).
+    indicator_max_delay: float = 1.0
     #: Admin cacheability rule from the configuration file.
     cacheable_rule: Callable[[Request], bool] = field(default=_default_cacheable)
     #: When an identical cacheable request is already executing on this
@@ -104,6 +121,25 @@ class SwalaConfig:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.fetch_timeout <= 0:
             raise ValueError(f"fetch_timeout must be positive")
+        from .dirsync import DIRECTORY_PROTOCOLS  # local: avoids a cycle
+
+        if self.directory_protocol not in DIRECTORY_PROTOCOLS:
+            raise ValueError(
+                f"unknown directory_protocol {self.directory_protocol!r}; "
+                f"choose from {DIRECTORY_PROTOCOLS}"
+            )
+        if self.digest_interval <= 0:
+            raise ValueError(f"digest_interval must be positive")
+        if not (0.0 < self.indicator_fp_rate < 1.0):
+            raise ValueError(
+                f"indicator_fp_rate must be in (0, 1), got {self.indicator_fp_rate}"
+            )
+        if self.indicator_batch < 1:
+            raise ValueError(
+                f"indicator_batch must be >= 1, got {self.indicator_batch}"
+            )
+        if self.indicator_max_delay <= 0:
+            raise ValueError(f"indicator_max_delay must be positive")
         if self.source_monitor_interval <= 0:
             raise ValueError(f"source_monitor_interval must be positive")
 

@@ -18,6 +18,11 @@ INI format::
     locking = table             ; directory | table | entry
     coalesce_duplicates = no
     max_entry_size = inf
+    directory_protocol = broadcast  ; broadcast | digest | bloom
+    digest_interval = 5         ; digest refresh period, seconds
+    indicator_fp_rate = 0.01    ; Bloom probe-sweep false-positive bound
+    indicator_batch = 32        ; deltas per Bloom flush
+    indicator_max_delay = 1     ; max delta queueing delay, seconds
 
     [cacheable]
     ; URL prefixes that MAY be cached (everything else is not).
@@ -117,6 +122,16 @@ def parse_config(text: str) -> SwalaConfig:
             kw["coalesce_duplicates"] = section.getboolean("coalesce_duplicates")
         if "max_entry_size" in section:
             kw["max_entry_size"] = _parse_float(section["max_entry_size"])
+        if "directory_protocol" in section:
+            kw["directory_protocol"] = section["directory_protocol"].strip().lower()
+        if "digest_interval" in section:
+            kw["digest_interval"] = _parse_float(section["digest_interval"])
+        if "indicator_fp_rate" in section:
+            kw["indicator_fp_rate"] = _parse_float(section["indicator_fp_rate"])
+        if "indicator_batch" in section:
+            kw["indicator_batch"] = int(section["indicator_batch"])
+        if "indicator_max_delay" in section:
+            kw["indicator_max_delay"] = _parse_float(section["indicator_max_delay"])
 
     if parser.has_section("cacheable") and parser.has_option("cacheable", "allow"):
         prefixes = parser.get("cacheable", "allow").split()

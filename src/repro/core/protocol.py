@@ -4,7 +4,9 @@ Three conversations exist (paper §4.1):
 
 * **HTTP** — client -> server request, server -> client response;
 * **directory updates** — asynchronous insert/delete broadcasts between
-  cacher modules (the weak inter-node consistency protocol of §4.2);
+  cacher modules (the weak inter-node consistency protocol of §4.2), or —
+  under the indicator protocols of :mod:`repro.core.dirsync` — periodic
+  cache digests and batched Bloom-filter delta messages;
 * **cache fetch** — a request/reply session that pulls a cached result body
   from the owning node.
 
@@ -15,8 +17,8 @@ a small header.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from ..cache import CacheEntry
 from ..workload import Request
@@ -26,11 +28,17 @@ __all__ = [
     "HttpResponse",
     "CacheInsert",
     "CacheDelete",
+    "CacheDigest",
+    "IndicatorDeltas",
     "FetchRequest",
     "FetchReply",
     "HTTP_REQUEST_BYTES",
     "HTTP_RESPONSE_HEADER_BYTES",
     "DIRECTORY_UPDATE_BYTES",
+    "DIGEST_HEADER_BYTES",
+    "DIGEST_BYTES_PER_ENTRY",
+    "DELTA_HEADER_BYTES",
+    "DELTA_RECORD_BYTES",
     "FETCH_REQUEST_BYTES",
     "FETCH_MISS_BYTES",
     "FETCH_HEADER_BYTES",
@@ -42,6 +50,16 @@ HTTP_REQUEST_BYTES = 300
 HTTP_RESPONSE_HEADER_BYTES = 200
 #: One replicated-directory insert/delete record.
 DIRECTORY_UPDATE_BYTES = 250
+#: Fixed preamble of a cache digest (owner, sequence, entry count).
+DIGEST_HEADER_BYTES = 64
+#: Per-entry cost of a cache digest: a hashed URL key, not the URL or the
+#: 250-byte directory record (Squid digests spend ~5 bytes/entry; 8 here
+#: keeps collisions negligible at digital-library catalog sizes).
+DIGEST_BYTES_PER_ENTRY = 8
+#: Fixed preamble of an indicator delta batch.
+DELTA_HEADER_BYTES = 48
+#: One batched insert/delete delta: op tag + hashed URL key.
+DELTA_RECORD_BYTES = 12
 #: Remote-fetch request (URL + requester identity).
 FETCH_REQUEST_BYTES = 200
 #: Remote-fetch negative reply (the "false hit" answer).
@@ -101,6 +119,35 @@ class CacheDelete:
     url: str
     owner: str
     bcast_id: Optional[int] = None
+
+
+@dataclass
+class CacheDigest:
+    """Periodic full-cache summary (``directory_protocol = digest``).
+
+    ``urls`` is the complete set the owner caches at send time; a
+    receiver replaces its whole view of ``owner``, which makes applying
+    the same digest twice a no-op.  On the wire this is
+    ``DIGEST_HEADER_BYTES + DIGEST_BYTES_PER_ENTRY * len(urls)``.
+    """
+
+    owner: str
+    urls: Tuple[str, ...] = field(default_factory=tuple)
+    seq: int = 0
+
+
+@dataclass
+class IndicatorDeltas:
+    """A batch of Bloom-indicator deltas (``directory_protocol = bloom``).
+
+    ``ops`` is an ordered tuple of ``("i" | "d", url)`` pairs; receivers
+    add/remove them in the sender's counting filter in order.  On the
+    wire: ``DELTA_HEADER_BYTES + DELTA_RECORD_BYTES * len(ops)``.
+    """
+
+    owner: str
+    ops: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    seq: int = 0
 
 
 @dataclass

@@ -78,7 +78,7 @@ class SwalaServer(ThreadPoolServer):
     def attach_oracle(self, oracle) -> None:
         """Audit this node's requests into ``oracle`` (zero-cost when off)."""
         self.oracle = oracle
-        self.cacher.oracle = oracle
+        self.cacher.attach_oracle(oracle)
 
     def attach_profiler(self, profiler) -> None:
         super().attach_profiler(profiler)

@@ -39,6 +39,11 @@ class NodeStats:
     false_misses: int = 0
     #: Directory update messages applied from peers.
     updates_applied: int = 0
+    #: Directory-sync messages this node put on the wire (per-peer
+    #: copies: broadcast records, digests, or indicator delta batches).
+    dir_msgs_sent: int = 0
+    #: Bytes those directory-sync messages occupied on the wire.
+    dir_bytes_sent: int = 0
     #: Insert broadcasts we received for a URL we also hold (evidence that a
     #: false miss double-cached an entry).
     double_cached: int = 0
@@ -137,6 +142,18 @@ class ClusterStats:
     @property
     def double_cached(self) -> int:
         return self._sum("double_cached")
+
+    @property
+    def updates_applied(self) -> int:
+        return self._sum("updates_applied")
+
+    @property
+    def dir_msgs_sent(self) -> int:
+        return self._sum("dir_msgs_sent")
+
+    @property
+    def dir_bytes_sent(self) -> int:
+        return self._sum("dir_bytes_sent")
 
     @property
     def invalidated(self) -> int:

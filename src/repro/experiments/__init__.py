@@ -27,6 +27,14 @@ from .capacity_study import (
     run_capacity_study,
 )
 from .common import run_cluster_trace, run_single_server_fleet, single_swala, warm_cluster
+from .directory_grid import (
+    GRID_MIXES,
+    GridCell,
+    GridMix,
+    grid_to_dicts,
+    render_directory_grid,
+    run_directory_grid,
+)
 from .figure3 import Figure3Result, render_figure3, run_figure3
 from .figure4 import Figure4Row, figure4_workload, render_figure4, run_figure4
 from .invalidation_study import (
@@ -89,6 +97,12 @@ __all__ = [
     "render_table4",
     "Table4Row",
     "PseudoServer",
+    "run_directory_grid",
+    "render_directory_grid",
+    "grid_to_dicts",
+    "GridCell",
+    "GridMix",
+    "GRID_MIXES",
     "run_table5",
     "run_table6",
     "run_hit_ratio_experiment",

@@ -135,6 +135,7 @@ def build_fleet_shard(
                 network.messages_dropped,
                 network.bytes_sent,
                 network.transit_times,
+                network.port_traffic,
             ),
         }
 
@@ -169,6 +170,7 @@ class PartitionedClusterResult:
         waits: Dict[int, float] = {}
         messages_sent = dropped = bytes_sent = 0
         transit = Tally("lan.transit", keep_samples=False)
+        port_traffic: Dict[str, List[int]] = {}
         self._threads: List[tuple] = []
         for summary in summaries:
             self._threads.extend(summary["threads"])
@@ -178,11 +180,15 @@ class PartitionedClusterResult:
                 cached[i] = n
             for i, w in summary["lock_waits"]:
                 waits[i] = w
-            sent, drop, nbytes, tally = summary["network"]
+            sent, drop, nbytes, tally, ports = summary["network"]
             messages_sent += sent
             dropped += drop
             bytes_sent += nbytes
             transit.merge(tally)
+            for port, (n_msgs, n_bytes) in ports.items():
+                entry = port_traffic.setdefault(port, [0, 0])
+                entry[0] += n_msgs
+                entry[1] += n_bytes
         self._node_stats = [by_node[i] for i in sorted(by_node)]
         self._cached = sum(cached.values())
         self.network = SimpleNamespace(
@@ -191,6 +197,7 @@ class PartitionedClusterResult:
             messages_dropped=dropped,
             bytes_sent=bytes_sent,
             transit_times=transit,
+            port_traffic=port_traffic,
         )
         self.servers = [
             SimpleNamespace(

@@ -33,8 +33,9 @@ class Table3Row:
 
 
 def _run_one(n_nodes: int, mode: CacheMode, n_requests: int, cpu_time: float,
-             costs: Optional[MachineCosts]) -> float:
+             costs: Optional[MachineCosts], directory: str = "broadcast") -> float:
     trace = unique_cgi_trace(n_requests, cpu_time=cpu_time)
+    config = SwalaConfig(mode=mode, directory_protocol=directory)
     from ..obs.runtime import current_observer
     from ..sim.pdes import sim_partitions
 
@@ -46,7 +47,7 @@ def _run_one(n_nodes: int, mode: CacheMode, n_requests: int, cpu_time: float,
 
         times, _ = run_partitioned_fleet(
             n_nodes,
-            SwalaConfig(mode=mode),
+            config,
             trace,
             n_threads=1,
             n_hosts=1,
@@ -57,7 +58,7 @@ def _run_one(n_nodes: int, mode: CacheMode, n_requests: int, cpu_time: float,
         )
         return times.mean
     sim = Simulator()
-    cluster = SwalaCluster(sim, n_nodes, SwalaConfig(mode=mode), costs=costs)
+    cluster = SwalaCluster(sim, n_nodes, config, costs=costs)
     cluster.start()
     client = ClientThread(
         sim, cluster.network, "client0", cluster.node_names[0], list(trace)
@@ -71,7 +72,11 @@ def run_table3(
     n_requests: int = 180,
     cpu_time: float = 1.0,
     costs: Optional[MachineCosts] = None,
+    directory: str = "broadcast",
 ) -> List[Table3Row]:
+    """``directory`` selects the cooperative runs' dirsync protocol; the
+    default reproduces the paper's broadcast exactly (same config, same
+    code path), which the CI bit-identity gate relies on."""
     rows = []
     for n in node_counts:
         rows.append(
@@ -79,7 +84,8 @@ def run_table3(
                 nodes=n,
                 no_cache=_run_one(n, CacheMode.NONE, n_requests, cpu_time, costs),
                 coop_cache=_run_one(
-                    n, CacheMode.COOPERATIVE, n_requests, cpu_time, costs
+                    n, CacheMode.COOPERATIVE, n_requests, cpu_time, costs,
+                    directory=directory,
                 ),
             )
         )

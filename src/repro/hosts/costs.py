@@ -85,6 +85,12 @@ class MachineCosts:
     directory_lookup_cpu: float = 0.00008
     #: Build + send one directory broadcast message (per peer).
     broadcast_per_peer_cpu: float = 0.00015
+    #: Probe one peer's summary indicator (digest set / Bloom filter)
+    #: during a lookup sweep — a few hashes + memory reads, far below a
+    #: full table scan.
+    indicator_probe_cpu: float = 1e-6
+    #: Build or apply one entry of a cache digest (hash + append).
+    digest_cpu_per_entry: float = 2e-7
     #: Requester-side cost of one remote cache fetch: TCP connection setup
     #: to the peer, request marshalling, and reply demultiplexing.  This is
     #: why a remote fetch stays measurably slower than a local one even

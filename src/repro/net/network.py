@@ -80,6 +80,11 @@ class Network:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        #: Per-port traffic: port name -> [messages, bytes].  Gives an
+        #: accounting of the wire independent of the senders' own
+        #: counters (e.g. the directory-sync traffic on "cache-update"
+        #: vs the ``NodeStats.dir_msgs_sent`` the strategies maintain).
+        self.port_traffic: Dict[str, List[int]] = {}
         self.transit_times = Tally(f"{name}.transit", keep_samples=False)
         #: Optional :class:`~repro.obs.TraceCollector`.  Message hops are
         #: traced only when the sender passes a parent span to :meth:`send`
@@ -280,11 +285,19 @@ class Network:
             partial(self._deliver, msg, delivered, span)
         )
 
+    def _account_port(self, msg: Message) -> None:
+        entry = self.port_traffic.get(msg.port)
+        if entry is None:
+            entry = self.port_traffic[msg.port] = [0, 0]
+        entry[0] += 1
+        entry[1] += msg.size
+
     def _account_remote(self, msg: Message, delivered: Event, span, _evt=None) -> None:
         """Sender-side tail of a cross-shard delivery: everything
         :meth:`_deliver` does except the (remote) mailbox deposit."""
         self.messages_sent += 1
         self.bytes_sent += msg.size
+        self._account_port(msg)
         self.transit_times.observe(msg.in_flight_time)
         if span is not None:
             span.close(self.sim.now)
@@ -294,6 +307,7 @@ class Network:
         msg.deliver_time = self.sim.now
         self.messages_sent += 1
         self.bytes_sent += msg.size
+        self._account_port(msg)
         self.transit_times.observe(msg.in_flight_time)
         if span is not None:
             span.close(self.sim.now)

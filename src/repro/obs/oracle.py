@@ -38,6 +38,11 @@ Each anomaly is tagged with the directory-update broadcast whose
 propagation lag caused it (when one is attributable) and with the time
 the detour wasted versus the ideal outcome.  Broadcast applications are
 sampled into a staleness-window distribution (wire time vs apply lag).
+Under the summary-indicator directory protocols (``digest`` / ``bloom``,
+see :mod:`repro.core.dirsync`) there is no per-update broadcast to
+blame: anomalies with no attributable message are tagged with the
+``indicator`` cause instead, so ``repro audit`` separates digest/filter
+approximation error from broadcast propagation lag.
 
 The oracle is **zero-cost when off**: instrumented sites pay one
 ``is None`` check, exactly like the span tracer.  It never schedules
@@ -232,6 +237,9 @@ class RequestAudit:
         if self.bcast_id is not None:
             data["bcast"] = self.bcast_id
             data["bcast_kind"] = self.bcast_kind
+        elif self.bcast_kind is not None:
+            # Indicator-caused anomalies carry a cause but no message id.
+            data["bcast_kind"] = self.bcast_kind
         if self.staleness is not None:
             data["staleness"] = self.staleness
         if self.inflight_window is not None:
@@ -269,6 +277,10 @@ class ConsistencyOracle:
         #: time-series sampler's anomaly-rate series).
         self.counts: Dict[str, int] = {}
         self._bcast_ids = itertools.count(1)
+        #: Set (to "digest" / "bloom") when the audited cluster runs a
+        #: summary-indicator directory protocol; anomalies without an
+        #: attributable broadcast are then stale-indicator casualties.
+        self.indicator_protocol: Optional[str] = None
         self._reset_run_state()
 
     def _reset_run_state(self) -> None:
@@ -286,6 +298,10 @@ class ConsistencyOracle:
         self._bcast_info: Dict[int, Tuple[str, str, str, float]] = {}
         # (node, url) -> (active executions, start of the first)
         self._inflight: Dict[Tuple[str, str], Tuple[int, float]] = {}
+
+    def note_indicator_protocol(self, kind: str) -> None:
+        """Called by indicator-mode cachers when the oracle attaches."""
+        self.indicator_protocol = kind
 
     # -- run lifecycle ------------------------------------------------------
     def new_run(self) -> int:
@@ -483,6 +499,14 @@ class ConsistencyOracle:
             # with none pending the copy expired before the purger
             # announced it (no message to blame yet).
             self._attribute(audit, url, "delete", owner, now)
+        if (
+            audit.bcast_id is None
+            and audit.bcast_kind is None
+            and self.indicator_protocol is not None
+        ):
+            # No broadcast to blame: the stale/approximate summary
+            # indicator itself sent us chasing a phantom copy.
+            audit.bcast_kind = "indicator"
 
     def coalesced(self, audit: RequestAudit) -> None:
         audit.coalesced_waits += 1
@@ -520,6 +544,10 @@ class ConsistencyOracle:
             audit.bcast_id = applied["bcast"]
             audit.bcast_kind = "insert"
             audit.staleness = applied["applied"] - applied["sent"]
+        elif self.indicator_protocol is not None:
+            # The peer copy surfaced through a digest/filter refresh,
+            # not an attributable broadcast.
+            audit.bcast_kind = "indicator"
 
     def duplicate_cost(self, audit: RequestAudit) -> None:
         """Charge a type-1 false miss's redundant execution as waste."""
@@ -685,6 +713,14 @@ def render_taxonomy(dump: AuditDump) -> str:
         "wasted = failed remote round-trips (false hits) + redundant "
         "executions (false misses)"
     ]
+    indicator_caused = sum(
+        1 for r in finished if r.get("bcast_kind") == "indicator"
+    )
+    if indicator_caused:
+        notes.append(
+            f"{indicator_caused} anomaly(ies) caused by stale/approximate "
+            "summary indicators (digest/bloom), not broadcast lag"
+        )
     if dump.double_cached:
         notes.append(
             f"{len(dump.double_cached)} double-cached event(s) — false "

@@ -382,6 +382,10 @@ _NODE_COUNTERS = (
      "Executions duplicating concurrent or pre-broadcast work"),
     ("swala_directory_updates_total", "updates_applied",
      "Peer directory updates applied"),
+    ("swala_directory_messages_total", "dir_msgs_sent",
+     "Directory-sync messages sent (broadcasts, digests, deltas)"),
+    ("swala_directory_bytes_total", "dir_bytes_sent",
+     "Directory-sync bytes sent"),
     ("swala_double_cached_total", "double_cached",
      "Insert broadcasts for URLs we also hold"),
     ("swala_invalidations_received_total", "invalidations_received",

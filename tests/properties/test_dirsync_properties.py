@@ -1,0 +1,109 @@
+"""Property-based tests for the directory-sync indicators.
+
+Three guarantees back the Bloom/digest protocols' correctness story:
+
+* the counting Bloom filter's *empirical* false-positive rate stays
+  under the rate it was sized for (with statistical slack);
+* an entry that was added and not removed can **never** read as absent,
+  no matter what interleaving of adds and (including spurious) deletes
+  the delta stream applies;
+* applying the same cache digest twice is a no-op — the refresh is
+  idempotent, so duplicated or re-ordered refreshes cannot corrupt a
+  peer view.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import CacheMode, CountingBloomFilter, SwalaCluster, SwalaConfig
+from repro.core.protocol import CacheDigest
+from repro.sim import Simulator
+
+url_lists = st.lists(
+    st.integers(min_value=0, max_value=100_000),
+    min_size=1, max_size=300, unique=True,
+).map(lambda ids: [f"/cgi-bin/u?{i}" for i in ids])
+
+
+class TestBloomFalsePositiveBound:
+    @given(members=url_lists, fp_rate=st.sampled_from([0.001, 0.01, 0.05, 0.2]))
+    @settings(max_examples=30, deadline=None)
+    def test_empirical_fp_rate_within_bound(self, members, fp_rate):
+        filt = CountingBloomFilter(len(members), fp_rate)
+        for url in members:
+            filt.add(url)
+        member_set = set(members)
+        probes = [f"/probe/{i}" for i in range(2_000)]
+        probes = [p for p in probes if p not in member_set]
+        false_positives = sum(1 for p in probes if p in filt)
+        empirical = false_positives / len(probes)
+        # Binomial slack: 4 sigma above the design rate, floored for the
+        # tiny-probability cells where one hit dominates the estimate.
+        slack = max(
+            3 * fp_rate,
+            fp_rate + 4 * math.sqrt(fp_rate * (1 - fp_rate) / len(probes)),
+        )
+        assert empirical <= slack
+
+    @given(members=url_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_members_always_present(self, members):
+        filt = CountingBloomFilter(len(members), 0.01)
+        for url in members:
+            filt.add(url)
+        assert all(url in filt for url in members)
+
+
+# An op stream over a small URL pool: True = add, False = delete (the
+# delete targets whatever the pool offers — present or not, like a
+# delta stream with spurious or re-ordered deletes).
+op_streams = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=19)),
+    min_size=1, max_size=400,
+)
+
+
+class TestCountingFilterDeleteSafety:
+    @given(ops=op_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_present_entries_never_read_absent(self, ops):
+        filt = CountingBloomFilter(64, 0.01)
+        live = {}  # url -> multiplicity
+        for is_add, i in ops:
+            url = f"/cgi-bin/u?{i}"
+            if is_add:
+                filt.add(url)
+                live[url] = live.get(url, 0) + 1
+            else:
+                filt.discard(url)
+                if live.get(url, 0) > 0:
+                    live[url] -= 1
+            # The safety property: no live entry is ever a false negative.
+            for u, count in live.items():
+                if count > 0:
+                    assert u in filt
+
+
+class TestDigestIdempotence:
+    @given(urls=url_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_applying_same_digest_twice_is_noop(self, urls):
+        sim = Simulator()
+        cluster = SwalaCluster(
+            sim, 2,
+            SwalaConfig(mode=CacheMode.COOPERATIVE,
+                        directory_protocol="digest"),
+        )
+        sync = cluster.servers[1].cacher.sync
+        digest = CacheDigest(owner="swala0", urls=tuple(sorted(urls)), seq=1)
+        sim.run(until=sim.process(sync.handle_update(digest, None)))
+        first = {peer: set(view) for peer, view in sync.views.items()}
+        assert first["swala0"] == set(urls)
+        sim.run(until=sim.process(sync.handle_update(digest, None)))
+        assert {p: set(v) for p, v in sync.views.items()} == first
+        # And a *newer* digest replaces the view wholesale (no merge).
+        shrunk = CacheDigest(owner="swala0", urls=(urls[0],), seq=2)
+        sim.run(until=sim.process(sync.handle_update(shrunk, None)))
+        assert sync.views["swala0"] == {urls[0]}
