@@ -44,6 +44,7 @@ __all__ = [
     "bench_processor_sharing",
     "bench_cache_store",
     "bench_full_request_path",
+    "bench_streaming_telemetry",
     "bench_eviction_sweep",
     "bench_eviction_sweep_scan",
     "bench_stack_distances",
@@ -132,6 +133,31 @@ def bench_full_request_path(n_requests: int = 400) -> int:
     )
     times = fleet.run()
     assert times.count == n_requests
+    return sim.ticks
+
+
+def bench_streaming_telemetry(n_requests: int = 400) -> int:
+    """A/B twin of :func:`bench_full_request_path` with windowed
+    streaming telemetry attached: the wall-clock delta between the two
+    is the per-event cost of window sampling.  The streaming-off path
+    pays only an ``is None`` check, so ``full_request_path`` itself must
+    not move when this workload is added or changed."""
+    from .obs.streaming import StreamingTelemetry
+
+    sim = Simulator()
+    cluster = SwalaCluster(sim, 2, SwalaConfig(mode=CacheMode.COOPERATIVE))
+    cluster.start()
+    telemetry = StreamingTelemetry(window=1.0)
+    telemetry.new_run()
+    cluster.attach_streaming(telemetry)
+    trace = zipf_cgi_trace(n_requests, 50, cpu_time_mean=0.05, seed=0)
+    fleet = ClientFleet(
+        sim, cluster.network, trace, servers=cluster.node_names, n_threads=8
+    )
+    times = fleet.run()
+    telemetry.finalize()
+    assert times.count == n_requests
+    assert sum(w.completions for w in telemetry.windows) == n_requests
     return sim.ticks
 
 
@@ -415,6 +441,7 @@ BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "processor_sharing": bench_processor_sharing,
     "cache_store": bench_cache_store,
     "full_request_path": bench_full_request_path,
+    "streaming_telemetry": bench_streaming_telemetry,
     "eviction_sweep": bench_eviction_sweep,
     "eviction_sweep_scan": bench_eviction_sweep_scan,
     "stack_distances": bench_stack_distances,

@@ -72,9 +72,11 @@ def _observability(args):
     timeseries_out = getattr(args, "timeseries_out", None)
     profile_out = getattr(args, "profile_out", None)
     critical_out = getattr(args, "critical_out", None)
+    streaming_out = getattr(args, "streaming_out", None)
     if (
         not trace_out and not metrics_out and not audit_out
         and not timeseries_out and not profile_out and not critical_out
+        and not streaming_out
     ):
         yield None
         return
@@ -83,6 +85,7 @@ def _observability(args):
         ConsistencyOracle,
         MetricsRegistry,
         ResourceProfiler,
+        StreamingTelemetry,
         TimeSeriesLog,
         TraceCollector,
     )
@@ -102,6 +105,9 @@ def _observability(args):
         timeseries=TimeSeriesLog() if timeseries_out else None,
         timeseries_dt=getattr(args, "timeseries_dt", 1.0),
         profiler=profiler,
+        streaming=StreamingTelemetry(
+            window=getattr(args, "streaming_window", 1.0)
+        ) if streaming_out else None,
     )
     with observe_runs(observer):
         yield observer
@@ -141,6 +147,18 @@ def _observability(args):
         print(
             f"(profile: {len(observer.profiler.probes)} resources written "
             f"to {profile_out}{note}; inspect with `repro profile`)"
+        )
+    if streaming_out:
+        observer.streaming.write_jsonl(streaming_out)
+        if observer.registry is not None:
+            from .obs import collect_streaming
+
+            collect_streaming(observer.registry, observer.streaming)
+            observer.registry.write(metrics_out)
+        flagged = sum(1 for w in observer.streaming.windows if w.saturated)
+        print(
+            f"(streaming: {len(observer.streaming.windows)} windows "
+            f"({flagged} saturated) written to {streaming_out})"
         )
     if critical_out:
         from .obs import aggregate_blame, write_critical
@@ -284,6 +302,79 @@ def _cmd_study(args) -> int:
         ),
     }
     _emit(runners[args.which](), args.output)
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    """Adaptive saturation search: the knee rate per cluster size."""
+    import json as _json
+
+    from .experiments.capacity import (
+        CapacityParams,
+        render_knee_table,
+        run_capacity_search,
+        write_knee_report,
+    )
+
+    params = CapacityParams(
+        nodes=tuple(args.nodes),
+        mode=args.mode,
+        window=args.window,
+        duration=args.duration,
+        start_rate=args.start_rate,
+        max_rate=args.max_rate,
+        growth=args.growth,
+        precision=args.precision,
+        max_probes=args.max_probes,
+        slo_p99=args.slo_p99,
+        max_rho=args.max_rho,
+        queue_growth_frac=args.queue_growth_frac,
+        consecutive=args.consecutive,
+        warmup_windows=args.warmup_windows,
+        n_distinct=args.distinct,
+        cpu_time_mean=args.cpu_time,
+        seed=args.seed,
+    )
+    windows: Optional[list] = (
+        [] if (args.windows_out or args.dashboard) else None
+    )
+    cells = run_capacity_search(params, collect_windows=windows)
+    text = render_knee_table(cells, params)
+    if args.dashboard:
+        from .obs import render_streaming_dashboard
+
+        panels = []
+        for cell in cells:
+            knee_windows = [
+                w for w in windows
+                if w["cell"] == cell.nodes and w["phase"] == "knee"
+            ]
+            panels.append(render_streaming_dashboard(
+                knee_windows,
+                title=f"{cell.nodes} node(s) @ knee {cell.knee:.2f}/s",
+            ))
+        text = text + "\n\n" + "\n\n".join(panels)
+    _emit(text, args.output)
+    if args.windows_out:
+        from .obs.ioutil import write_text
+
+        lines = [
+            _json.dumps(w, sort_keys=True, separators=(",", ":"))
+            for w in windows
+        ]
+        write_text(
+            args.windows_out, "\n".join(lines) + ("\n" if lines else "")
+        )
+        print(
+            f"(capacity: {len(windows)} windows written to "
+            f"{args.windows_out}; diff with `repro diff`)"
+        )
+    if args.json_out:
+        write_knee_report(cells, params, args.json_out, args.txt_out)
+        where = args.json_out + (
+            f" and {args.txt_out}" if args.txt_out else ""
+        )
+        print(f"(knee report written to {where})")
     return 0
 
 
@@ -872,6 +963,17 @@ def build_parser() -> argparse.ArgumentParser:
             "the critical-path blame aggregate (JSON; inspect with "
             "`repro critical`); implies tracing and interval profiling",
         )
+        p.add_argument(
+            "--streaming-out",
+            help="aggregate completions into fixed-width sim-time windows "
+            "(rates, hit ratio, sketched latency quantiles) and write the "
+            "per-window JSONL; perturbation-free (no events scheduled), "
+            "gzip when the path ends in .gz",
+        )
+        p.add_argument(
+            "--streaming-window", type=float, default=1.0, metavar="SECONDS",
+            help="window width for --streaming-out (default 1.0)",
+        )
 
     def scheduler_opt(p):
         p.add_argument(
@@ -1009,6 +1111,78 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("which", choices=["proxy", "capacity", "heterogeneity"])
     p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser(
+        "capacity",
+        help="SLO-driven saturation search: ramp + bisection to the max "
+        "sustainable req/s per cluster size, annotated with the "
+        "profiler's bottleneck resource at the knee",
+    )
+    p.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 4, 8, 16], metavar="N",
+        help="cluster sizes to sweep (default 1 4 8 16)",
+    )
+    p.add_argument(
+        "--mode", choices=["none", "standalone", "cooperative"],
+        default="cooperative",
+    )
+    p.add_argument(
+        "--window", type=float, default=1.0, metavar="SECONDS",
+        help="telemetry window width (default 1.0)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=20.0, metavar="SECONDS",
+        help="offered-load phase per probe run (default 20.0)",
+    )
+    p.add_argument("--start-rate", type=float, default=4.0, metavar="R",
+                   help="ramp origin, req/s (default 4.0)")
+    p.add_argument("--max-rate", type=float, default=4096.0, metavar="R",
+                   help="give up ramping above this rate (default 4096)")
+    p.add_argument("--growth", type=float, default=2.0,
+                   help="ramp multiplier per hold period (default 2.0)")
+    p.add_argument(
+        "--precision", type=float, default=0.05,
+        help="stop bisecting when hi/lo - 1 <= this (default 0.05)",
+    )
+    p.add_argument("--max-probes", type=int, default=12,
+                   help="bisection probe budget per cluster size")
+    p.add_argument("--slo-p99", type=float, default=2.0, metavar="SECONDS",
+                   help="windowed p99 latency bound (default 2.0)")
+    p.add_argument("--max-rho", type=float, default=1.0,
+                   help="Little's-law utilization bound (default 1.0)")
+    p.add_argument(
+        "--queue-growth-frac", type=float, default=0.25,
+        help="flag a window when backlog grows by more than this fraction "
+        "of its expected arrivals (default 0.25)",
+    )
+    p.add_argument("--consecutive", type=int, default=3, metavar="K",
+                   help="flagged windows in a row that declare saturation")
+    p.add_argument("--warmup-windows", type=int, default=2,
+                   help="initial windows exempt from flagging (cold cache)")
+    p.add_argument("--distinct", type=int, default=200,
+                   help="distinct CGI URLs in the Zipf workload")
+    p.add_argument("--cpu-time", type=float, default=0.2, metavar="SECONDS",
+                   help="mean CGI service demand (default 0.2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="also write the table to this file")
+    p.add_argument(
+        "--json-out",
+        help="write the knee report (deterministic JSON; diff with "
+        "`repro diff`, e.g. against results/capacity_knee.json)",
+    )
+    p.add_argument("--txt-out",
+                   help="write the rendered table next to --json-out")
+    p.add_argument(
+        "--windows-out",
+        help="write every probe's per-window telemetry (JSONL, tagged "
+        "with cell/phase/rate; gzip when the path ends in .gz)",
+    )
+    p.add_argument(
+        "--dashboard", action="store_true",
+        help="render an ASCII sparkline dashboard of each knee probe",
+    )
+    scheduler_opt(p)
+    p.set_defaults(func=_cmd_capacity)
 
     p = sub.add_parser("analyze-log", help="Table-1 analysis of a real CLF log")
     common(p)

@@ -1,7 +1,7 @@
 """Closed-loop WebStone-style clients, fleets, and open-loop replay."""
 
 from .client import ClientFleet, ClientThread
-from .open_loop import OpenLoopSource, poisson_timed_trace
+from .open_loop import AdaptiveSource, OpenLoopSource, poisson_timed_trace
 from .webstone_bench import WebStoneReport, WebStoneRun
 
-__all__ = ["ClientThread", "ClientFleet", "OpenLoopSource", "poisson_timed_trace", "WebStoneRun", "WebStoneReport"]
+__all__ = ["ClientThread", "ClientFleet", "AdaptiveSource", "OpenLoopSource", "poisson_timed_trace", "WebStoneRun", "WebStoneReport"]

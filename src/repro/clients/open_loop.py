@@ -19,7 +19,7 @@ from ..servers.base import HTTP_PORT
 from ..sim import Event, Process, RandomStreams, Simulator, Tally
 from ..workload import Request, TimedRequest, Trace
 
-__all__ = ["OpenLoopSource", "poisson_timed_trace"]
+__all__ = ["AdaptiveSource", "OpenLoopSource", "poisson_timed_trace"]
 
 _source_ids = itertools.count()
 
@@ -72,6 +72,9 @@ class OpenLoopSource:
         self.reply_box = network.register(host, self.reply_port)
         self.response_times = Tally(f"{self.name}.rt")
         self.responses: List[HttpResponse] = []
+        #: Optional :class:`~repro.obs.StreamingTelemetry`: arrivals are
+        #: noted as they are injected (pure bookkeeping, no events).
+        self.telemetry = None
         self._process: Optional[Process] = None
         self._waiter: Optional[Event] = None
 
@@ -107,6 +110,8 @@ class OpenLoopSource:
                 conn,
                 HTTP_REQUEST_BYTES,
             )
+            if self.telemetry is not None:
+                self.telemetry.note_arrival(self.sim.now)
             sent += 1
         # Wait for the collector to account for every response.
         while self.response_times.count < sent:
@@ -136,4 +141,113 @@ class OpenLoopSource:
         return (
             f"<OpenLoopSource {self.name!r} sent={len(self.timed_requests)} "
             f"answered={self.response_times.count}>"
+        )
+
+
+class AdaptiveSource:
+    """A rate-retargetable Poisson arrival source.
+
+    Where :class:`OpenLoopSource` replays a pre-stamped trace,
+    ``AdaptiveSource`` draws each inter-arrival gap *when it fires*, at
+    whatever ``rate`` is current — so a controller process can call
+    :meth:`retarget` mid-run (``repro capacity`` doubles the rate each
+    ramp step) and the change takes effect from the next arrival.
+    Requests cycle through ``population`` and spray across ``servers``
+    round-robin; :meth:`stop` halts injection after the in-flight gap.
+
+    Draws come from the source's own named RNG stream, so a ramp run is
+    fully deterministic given (seed, retarget schedule).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: str,
+        servers: Sequence[str],
+        population: Sequence[Request],
+        rate: float,
+        seed: int = 0,
+        name: str = "",
+    ):
+        if not servers:
+            raise ValueError("need at least one server")
+        if not population:
+            raise ValueError("need at least one request to cycle through")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.servers = list(servers)
+        self.population = list(population)
+        self.rate = float(rate)
+        self.name = name or f"adaptive{next(_source_ids)}"
+        self.reply_port = f"reply-{self.name}"
+        self.reply_box = network.register(host, self.reply_port)
+        self.response_times = Tally(f"{self.name}.rt")
+        self.sent = 0
+        self.telemetry = None
+        # The RNG stream key must come from the *explicit* name (or a
+        # fixed label), never the auto-generated one: that counter is
+        # process-global, and keying draws off it would make a source's
+        # arrival pattern depend on how many sources were ever built —
+        # pass distinct names (or seeds) for multiple sources per sim.
+        self._rng = RandomStreams(seed).stream(
+            f"adaptive-{name}" if name else "adaptive")
+        self._stopping = False
+        self._process: Optional[Process] = None
+
+    def retarget(self, rate: float) -> None:
+        """Change the arrival rate from the next inter-arrival draw on."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def stop(self) -> None:
+        """Stop injecting after the currently pending gap elapses."""
+        self._stopping = True
+
+    def start(self) -> Process:
+        if self._process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self.sim.process(self._collector(), name=f"{self.name}.rx")
+        self._process = self.sim.process(self._emitter(), name=self.name)
+        return self._process
+
+    def _emitter(self):
+        i = 0
+        while not self._stopping:
+            yield self.sim.timeout(self._rng.expovariate(self.rate))
+            if self._stopping:
+                break
+            conn = HttpConnection(
+                request=self.population[i % len(self.population)],
+                client=self.host,
+                reply_port=self.reply_port,
+                sent_at=self.sim.now,
+            )
+            self.network.send(
+                self.host,
+                self.servers[i % len(self.servers)],
+                HTTP_PORT,
+                conn,
+                HTTP_REQUEST_BYTES,
+            )
+            if self.telemetry is not None:
+                self.telemetry.note_arrival(self.sim.now)
+            self.sent += 1
+            i += 1
+        return self.response_times
+
+    def _collector(self):
+        while True:
+            msg = yield self.reply_box.get()
+            response: HttpResponse = msg.payload
+            self.response_times.observe(self.sim.now - response.sent_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdaptiveSource {self.name!r} rate={self.rate:g} "
+            f"sent={self.sent} answered={self.response_times.count}>"
         )

@@ -118,6 +118,12 @@ class SwalaCluster:
         for server in self.servers:
             server.attach_profiler(profiler)
 
+    def attach_streaming(self, streaming) -> None:
+        """Stream every node's completions into windowed telemetry."""
+        streaming.n_servers = len(self.servers)
+        for server in self.servers:
+            server.attach_streaming(streaming)
+
     def install_files(self, trace: Trace) -> None:
         """Give every node a copy of the static documents (shared docroot)."""
         for server in self.servers:

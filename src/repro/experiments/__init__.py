@@ -21,6 +21,17 @@ from .balancer_study import (
     render_balancer_study,
     run_balancer_study,
 )
+from .capacity import (
+    CapacityParams,
+    KneeCell,
+    ProbeResult,
+    find_knee,
+    knee_report,
+    probe_rate,
+    render_knee_table,
+    run_capacity_search,
+    write_knee_report,
+)
 from .capacity_study import (
     CapacityRow,
     render_capacity_study,
@@ -139,6 +150,15 @@ __all__ = [
     "HETEROGENEITY_CONFIGS",
     "run_capacity_study",
     "render_capacity_study",
+    "CapacityParams",
+    "KneeCell",
+    "ProbeResult",
+    "probe_rate",
+    "find_knee",
+    "run_capacity_search",
+    "knee_report",
+    "render_knee_table",
+    "write_knee_report",
     "CapacityRow",
     "replicate",
     "Replication",

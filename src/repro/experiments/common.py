@@ -45,6 +45,7 @@ class RunObserver:
         timeseries=None,
         timeseries_dt: float = 1.0,
         profiler=None,
+        streaming=None,
     ):
         self.tracer = tracer
         self.registry = registry
@@ -56,6 +57,9 @@ class RunObserver:
         self.timeseries_dt = timeseries_dt
         #: Optional :class:`~repro.obs.ResourceProfiler` (``--profile-out``).
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.StreamingTelemetry`
+        #: (``--streaming-out``); unlike the sampler it schedules nothing.
+        self.streaming = streaming
         self.targets: list = []
         self._attached: set = set()
         self._collected: set = set()
@@ -82,6 +86,9 @@ class RunObserver:
         if self.profiler is not None and hasattr(target, "attach_profiler"):
             self.profiler.new_run()
             target.attach_profiler(self.profiler)
+        if self.streaming is not None and hasattr(target, "attach_streaming"):
+            self.streaming.new_run()
+            target.attach_streaming(self.streaming)
         if self.timeseries is not None:
             self._start_sampler(target)
 
@@ -118,6 +125,9 @@ class RunObserver:
             # Flush integrals up to the run's final sim time; idempotent,
             # so finalizing earlier (stopped) runs again is harmless.
             self.profiler.finalize()
+        if self.streaming is not None:
+            # Close the window still open at end of run (idempotent too).
+            self.streaming.finalize()
         if self.registry is None:
             return
         from ..obs import collect_network, collect_node_stats

@@ -50,6 +50,8 @@ from ..metrics.reporting import render_table
 from .analyze import _percentile, outcome_of
 from .trace import Span
 
+from .ioutil import read_text, write_text
+
 __all__ = [
     "BLAME_SEGMENTS",
     "RequestBlame",
@@ -389,13 +391,13 @@ def to_json(data: Dict[str, Any]) -> str:
 def write_critical(data: Dict[str, Any], path: Union[str, Path]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_json(data))
+    write_text(path, to_json(data))
     return path
 
 
 def load_critical(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a ``--critical-out`` aggregate written by :func:`write_critical`."""
-    data = json.loads(Path(path).read_text())
+    data = json.loads(read_text(path))
     if not isinstance(data, dict) or "segments" not in data:
         raise ValueError(f"{path}: not a critical-path export (no 'segments')")
     return data

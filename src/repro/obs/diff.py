@@ -22,6 +22,8 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from .ioutil import logical_suffix, read_text
+
 __all__ = [
     "load_counters",
     "flatten_json",
@@ -75,11 +77,13 @@ def _flatten_jsonl(path: Path) -> Dict[str, float]:
 
     * audit records (have ``class``) → per-class counts + wasted totals;
     * time-series samples (have ``series``) → final value per series;
+    * streaming windows (``type == "window"``) → per-cell request and
+      saturated-window totals;
     * span/event traces (have ``type``) → span count + per-category
       duration sums.
     """
     counts: Dict[str, float] = {}
-    for line in path.read_text().splitlines():
+    for line in read_text(path).splitlines():
         line = line.strip()
         if not line:
             continue
@@ -97,6 +101,22 @@ def _flatten_jsonl(path: Path) -> Dict[str, float]:
             for name, value in record["series"].items():
                 counts[f"series.{name}"] = float(value)
             counts["samples"] = counts.get("samples", 0.0) + 1.0
+        elif record.get("type") == "window":  # streaming telemetry
+            cell = record.get("cell")
+            prefix = "window" if cell is None else f"window.cell{cell}"
+            for field in ("arrivals", "completions", "errors", "hits",
+                          "misses"):
+                counts[f"{prefix}.{field}"] = (
+                    counts.get(f"{prefix}.{field}", 0.0)
+                    + float(record.get(field, 0))
+                )
+            counts[f"{prefix}.windows"] = (
+                counts.get(f"{prefix}.windows", 0.0) + 1.0
+            )
+            if record.get("saturated"):
+                counts[f"{prefix}.saturated_windows"] = (
+                    counts.get(f"{prefix}.saturated_windows", 0.0) + 1.0
+                )
         elif record.get("type") == "span":
             counts["spans"] = counts.get("spans", 0.0) + 1.0
             end, start = record.get("end"), record.get("start")
@@ -114,9 +134,9 @@ def _flatten_jsonl(path: Path) -> Dict[str, float]:
 def load_counters(path: Union[str, Path]) -> Dict[str, float]:
     """Flatten any supported observability export into counters."""
     path = Path(path)
-    if path.suffix == ".jsonl":
+    if logical_suffix(path) == ".jsonl":
         return _flatten_jsonl(path)
-    data = json.loads(path.read_text())
+    data = json.loads(read_text(path))
     if isinstance(data, dict) and "resources" in data and "version" in data:
         return _flatten_profile(data)
     return flatten_json(data)

@@ -31,6 +31,8 @@ from typing import Dict, List, Union
 from .analyze import outcome_of
 from .trace import Span, TraceDump
 
+from .ioutil import write_text
+
 __all__ = [
     "fold_spans", "fold_blame", "render_folded", "write_folded", "frame_name",
 ]
@@ -116,5 +118,5 @@ def render_folded(folded: Dict[str, float]) -> str:
 def write_folded(folded: Dict[str, float], path: Union[str, Path]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_folded(folded))
+    write_text(path, render_folded(folded))
     return path

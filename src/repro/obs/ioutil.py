@@ -1,0 +1,55 @@
+"""gzip-transparent text I/O for observability exports.
+
+Every exporter (``--*-out`` flags) and loader (``repro trace`` /
+``repro audit`` / ``repro diff`` / ...) routes its file access through
+this module: a path ending in ``.gz`` is written gzip-compressed, and
+*reads* sniff the gzip magic bytes instead of trusting the name, so a
+renamed export still loads.  Writers pass ``mtime=0`` to ``gzip`` —
+without it the member header embeds the wall clock and two same-seed
+exports stop being byte-identical, which would break every ``cmp``
+determinism gate in CI.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+__all__ = ["is_gzip_path", "logical_suffix", "read_text", "write_text"]
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def is_gzip_path(path: Union[str, Path]) -> bool:
+    """True when ``path`` names a gzip member (ends in ``.gz``)."""
+    return str(path).endswith(".gz")
+
+
+def logical_suffix(path: Union[str, Path]) -> str:
+    """The format-bearing suffix with any ``.gz`` stripped.
+
+    ``spans.jsonl.gz -> .jsonl``, ``metrics.json -> .json``.
+    """
+    name = Path(path).name
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return Path(name).suffix
+
+
+def read_text(path: Union[str, Path]) -> str:
+    """File contents as text, decompressing when the bytes are gzip."""
+    data = Path(path).read_bytes()
+    if data[:2] == _GZIP_MAGIC:
+        data = gzip.decompress(data)
+    return data.decode("utf-8")
+
+
+def write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text``, gzip-compressed when the path ends in ``.gz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if is_gzip_path(path):
+        path.write_bytes(gzip.compress(text.encode("utf-8"), mtime=0))
+    else:
+        path.write_text(text)

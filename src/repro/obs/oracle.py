@@ -62,6 +62,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..metrics.ascii import sparkline
 from ..metrics.reporting import render_table
 
+from .ioutil import read_text, write_text
+
 __all__ = [
     "ConsistencyOracle",
     "RequestAudit",
@@ -602,7 +604,7 @@ class ConsistencyOracle:
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
+        write_text(path, self.to_jsonl())
         return path
 
     def __repr__(self) -> str:
@@ -650,7 +652,7 @@ def load_audit(path: Union[str, Path]) -> AuditDump:
         "bcast-drop": drops,
         "double-cached": double_cached,
     }
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+    for lineno, line in enumerate(read_text(path).splitlines(), 1):
         line = line.strip()
         if not line:
             continue

@@ -58,6 +58,8 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 from ..metrics.reporting import render_table
 from ..sim.monitor import Tally
 
+from .ioutil import read_text, write_text
+
 __all__ = [
     "ResourceProbe",
     "ResourceProfiler",
@@ -579,7 +581,7 @@ class ResourceProfiler:
     def write_json(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
+        write_text(path, self.to_json())
         return path
 
     def __repr__(self) -> str:
@@ -593,7 +595,7 @@ class ResourceProfiler:
 
 def load_profile(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a file written by :meth:`ResourceProfiler.write_json`."""
-    data = json.loads(Path(path).read_text())
+    data = json.loads(read_text(path))
     if not isinstance(data, dict) or "resources" not in data:
         raise ValueError(f"{path}: not a profiler export (no 'resources' key)")
     return data

@@ -20,6 +20,8 @@ import re
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .ioutil import logical_suffix, write_text
+
 __all__ = [
     "MetricsRegistry",
     "Counter",
@@ -229,9 +231,16 @@ class Histogram(_Metric):
 
     def __init__(self, name, help, labelnames, buckets: Sequence[float]):
         super().__init__(name, help, labelnames)
-        bounds = tuple(sorted(float(b) for b in buckets))
+        if any(math.isnan(float(b)) for b in buckets):
+            raise ValueError("NaN is not a valid bucket bound")
+        # Prometheus adds the +Inf bucket itself; an explicit infinite
+        # bound would double-emit the `le="+Inf"` series, which promtool
+        # rejects as a duplicate.
+        bounds = tuple(sorted(
+            float(b) for b in buckets if not math.isinf(float(b))
+        ))
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"duplicate bucket bounds in {bounds}")
         self.buckets = bounds
@@ -324,7 +333,28 @@ class MetricsRegistry:
         return len(self._metrics)
 
     # -- exposition -------------------------------------------------------
+    def self_check(self) -> None:
+        """Validate promtool-style exposition invariants before emitting.
+
+        For every histogram child the per-bucket counts must sum to the
+        observation count, so the implicit ``le="+Inf"`` cumulative
+        bucket always equals ``_count`` — the consistency rule promtool
+        enforces.  A mismatch means an exporter mutated internals
+        directly; fail the export rather than publish it.
+        """
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                for key, child in metric._sorted_children():
+                    if sum(child.counts) != child.count:
+                        labels = _label_str(metric._child_labels(key))
+                        raise ValueError(
+                            f"histogram {metric.name}{labels}: bucket counts "
+                            f"sum to {sum(child.counts)} but _count is "
+                            f"{child.count}"
+                        )
+
     def render_prometheus(self) -> str:
+        self.self_check()
         lines: List[str] = []
         for metric in self._metrics.values():
             if metric.help:
@@ -344,16 +374,21 @@ class MetricsRegistry:
         }
 
     def render_json(self, indent: int = 2) -> str:
+        self.self_check()
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write(self, path: Union[str, Path]) -> Path:
-        """``.json`` => JSON; anything else => Prometheus text format."""
+        """``.json`` => JSON; anything else => Prometheus text format.
+
+        A trailing ``.gz`` (``metrics.json.gz``, ``metrics.prom.gz``)
+        gzips the output; the format comes from the suffix underneath.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        if path.suffix == ".json":
-            path.write_text(self.render_json() + "\n")
+        if logical_suffix(path) == ".json":
+            write_text(path, self.render_json() + "\n")
         else:
-            path.write_text(self.render_prometheus())
+            write_text(path, self.render_prometheus())
         return path
 
     def __repr__(self) -> str:

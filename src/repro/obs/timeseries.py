@@ -29,6 +29,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..metrics.ascii import sparkline
 
+from .ioutil import read_text, write_text
+
 __all__ = [
     "TimeSeriesLog",
     "TimeSeriesSampler",
@@ -97,7 +99,7 @@ class TimeSeriesLog:
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
+        write_text(path, self.to_jsonl())
         return path
 
     def __repr__(self) -> str:
@@ -176,7 +178,7 @@ class TimeSeriesSampler:
 def load_timeseries(path: Union[str, Path]) -> TimeSeriesLog:
     """Load a file written by :meth:`TimeSeriesLog.write_jsonl`."""
     log = TimeSeriesLog()
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+    for lineno, line in enumerate(read_text(path).splitlines(), 1):
         line = line.strip()
         if not line:
             continue

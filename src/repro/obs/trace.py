@@ -36,6 +36,8 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
+from .ioutil import read_text, write_text
+
 __all__ = [
     "Span",
     "TraceCollector",
@@ -288,7 +290,7 @@ class TraceCollector:
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
+        write_text(path, self.to_jsonl())
         return path
 
     def __repr__(self) -> str:
@@ -338,7 +340,7 @@ def load_jsonl(path: Union[str, Path], strict: bool = True) -> TraceDump:
     spans: List[Span] = []
     events: List[Tuple[float, str, str]] = []
     skipped = 0
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+    for lineno, line in enumerate(read_text(path).splitlines(), 1):
         line = line.strip()
         if not line:
             continue

@@ -64,6 +64,10 @@ class BaseServer:
         #: Optional :class:`~repro.obs.ResourceProfiler`; attached via
         #: :meth:`attach_profiler`, same ``is None`` discipline.
         self.profiler = None
+        #: Optional :class:`~repro.obs.StreamingTelemetry`; attached via
+        #: :meth:`attach_streaming`, same ``is None`` discipline — its
+        #: windows close lazily off these observations, never off events.
+        self.streaming = None
         self._started = False
 
     def enable_access_log(self) -> "AccessLog":
@@ -82,6 +86,10 @@ class BaseServer:
         """Probe this node's machine resources (CPU bank + disk)."""
         self.profiler = profiler
         self.machine.attach_profiler(profiler)
+
+    def attach_streaming(self, streaming) -> None:
+        """Feed completed requests into windowed streaming telemetry."""
+        self.streaming = streaming
 
     # -- span helpers (no-ops while no tracer is attached) -------------------
     def _trace_request(self, conn: HttpConnection):
@@ -252,6 +260,8 @@ class BaseServer:
         self.stats.requests += 1
         elapsed = self.sim.now - conn.sent_at
         self.stats.observe_response(source, elapsed)
+        if self.streaming is not None:
+            self.streaming.record(self.sim.now, self.name, source, elapsed, ok)
         self._end_span(span, outcome=source, ok=ok)
         if self.access_log is not None:
             self.access_log.record(

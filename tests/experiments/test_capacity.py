@@ -1,0 +1,130 @@
+"""Tests for the SLO-driven capacity knee search (``repro capacity``).
+
+Kept tiny (short durations, 1-2 node cells, coarse precision) so the
+whole file runs in seconds; the committed ``results/capacity_knee.json``
+exercises the full default grid in CI instead.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.capacity import (
+    CapacityParams,
+    find_knee,
+    knee_bottleneck,
+    knee_report,
+    probe_rate,
+    render_knee_table,
+    write_knee_report,
+)
+from repro.obs.profiler import ResourceProfiler, _entries, _saturation
+
+TINY = CapacityParams(
+    nodes=(1, 2),
+    duration=6.0,
+    start_rate=2.0,
+    max_rate=64.0,
+    max_probes=4,
+    n_distinct=40,
+    cpu_time_mean=0.2,
+    seed=0,
+)
+
+
+class TestProbe:
+    def test_low_rate_not_saturated(self):
+        result = probe_rate(1, 0.5, TINY)
+        assert not result.saturated
+        assert result.completed > 0
+        assert result.mean_rt > 0
+
+    def test_absurd_rate_saturates(self):
+        result = probe_rate(1, 64.0, TINY)
+        assert result.saturated
+        assert result.saturated_window is not None
+        assert any(w["saturated"] for w in result.windows)
+
+    def test_common_random_numbers_across_rates(self):
+        """Doubling the rate halves every gap (same uniform stream), so
+        the saturation predicate is monotone in rate by construction."""
+        a = probe_rate(1, 1.0, TINY)
+        b = probe_rate(1, 2.0, TINY)
+        # Same arrival pattern compressed 2x: same request count over
+        # half the time span.
+        assert b.sent >= a.sent
+
+
+class TestKnee:
+    def test_find_knee_brackets_and_annotates(self):
+        cell = find_knee(1, TINY)
+        assert cell.nodes == 1
+        assert cell.knee > 0
+        if cell.bracket_hi is not None:
+            assert cell.knee <= cell.bracket_hi
+            # A fresh run at the knee must not saturate; one just above
+            # the bracket must (that is what "knee" means).
+            assert not probe_rate(1, cell.knee, TINY).saturated
+        assert cell.bottleneck["name"] is not None
+        assert cell.probes <= TINY.max_probes + 1
+
+    def test_knee_deterministic(self):
+        a = find_knee(1, TINY)
+        b = find_knee(1, TINY)
+        assert a.knee == b.knee
+        assert a.to_dict() == b.to_dict()
+
+    def test_bottleneck_matches_profile_ranking(self):
+        """The knee annotation must agree with what ``repro profile``
+        would call the top bottleneck: both rank by ``_saturation``."""
+        cell = find_knee(1, TINY)
+        profiler = ResourceProfiler()
+        probe_rate(1, cell.knee, TINY, profiler=profiler)
+        top = max(_entries(profiler.to_dict()), key=_saturation)
+        assert cell.bottleneck["name"] == top["name"]
+        assert cell.bottleneck["saturation"] == pytest.approx(
+            _saturation(top))
+        assert knee_bottleneck(profiler)["name"] == top["name"]
+
+    def test_window_tags(self):
+        windows = []
+        find_knee(1, TINY, collect_windows=windows)
+        assert windows
+        phases = {w["phase"] for w in windows}
+        assert "knee" in phases
+        assert phases <= {"ramp", "bisect", "knee"}
+        assert all(w["cell"] == 1 for w in windows)
+        assert all(w["rate"] > 0 for w in windows)
+
+
+class TestReport:
+    def test_report_and_table(self, tmp_path):
+        cells = [find_knee(n, TINY) for n in TINY.nodes]
+        document = knee_report(cells, TINY)
+        assert document["schema"] == "repro-capacity-v1"
+        assert [c["nodes"] for c in document["cells"]] == [1, 2]
+        text = render_knee_table(cells, TINY)
+        assert "knee req/s" in text
+        assert "bottleneck" in text
+
+        json_path = tmp_path / "knee.json"
+        txt_path = tmp_path / "knee.txt"
+        write_knee_report(cells, TINY, json_path, txt_path)
+        assert json.loads(json_path.read_text()) == document
+        assert txt_path.read_text().rstrip("\n") == text
+
+    def test_export_byte_identical_across_runs(self, tmp_path):
+        for name in ("a.json", "b.json"):
+            cells = [find_knee(1, TINY)]
+            write_knee_report(cells, TINY, tmp_path / name)
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+    def test_gzip_export(self, tmp_path):
+        cells = [find_knee(1, TINY)]
+        path = tmp_path / "knee.json.gz"
+        write_knee_report(cells, TINY, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        from repro.obs.ioutil import read_text
+
+        assert json.loads(read_text(path))["schema"] == "repro-capacity-v1"

@@ -204,3 +204,149 @@ class TestAdapters:
         observe_tally(reg, "t_seconds", tally, node="n0")
         text = reg.render_prometheus()
         assert 't_seconds_count{node="n0"} 2' in text
+
+
+class TestPromtoolRules:
+    """Regression tests against promtool-style exposition parsing rules.
+
+    A minimal parser walks the rendered text and enforces the invariants
+    ``promtool check metrics`` would: TYPE before samples, exactly one
+    ``+Inf`` bucket per histogram child, cumulative buckets that are
+    non-decreasing with ``le`` sorted ascending, ``_count``/``_sum``
+    present and consistent, and no duplicate series.
+    """
+
+    @staticmethod
+    def parse(text):
+        import re
+
+        types = {}
+        series = []
+        seen = set()
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP"):
+                continue
+            if line.startswith("# TYPE"):
+                _, _, name, type_name = line.split(None, 3)
+                types[name] = type_name
+                continue
+            m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (.+)$", line)
+            assert m, f"unparseable sample line: {line!r}"
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert family in types or name in types, \
+                f"sample {name} before any TYPE line"
+            key = (name, labels)
+            assert key not in seen, f"duplicate series {key}"
+            seen.add(key)
+            series.append((name, labels, float(value)))
+        return types, series
+
+    def histogram_children(self, text):
+        import re
+        from collections import defaultdict
+
+        _, series = self.parse(text)
+        children = defaultdict(dict)
+        for name, labels, value in series:
+            m = re.match(r"^(.*)_(bucket|sum|count)$", name)
+            if not m:
+                continue
+            family, kind = m.groups()
+            if kind == "bucket":
+                le = re.search(r'le="([^"]*)"', labels).group(1)
+                base = re.sub(r',?le="[^"]*"', "", labels).replace(
+                    "{}", "")
+                children[(family, base)].setdefault("buckets", []).append(
+                    (le, value))
+            else:
+                base = labels
+                children[(family, base)][kind] = value
+        return children
+
+    def test_histogram_family_consistency(self, reg):
+        h = reg.histogram("lat_seconds", "Latency",
+                          buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.3, 0.7, 5.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        children = self.histogram_children(text)
+        ((_, child),) = children.items()
+        les = [le for le, _ in child["buckets"]]
+        assert les.count("+Inf") == 1, "exactly one +Inf bucket"
+        assert les[-1] == "+Inf", "+Inf must come last"
+        finite = [float(le) for le in les[:-1]]
+        assert finite == sorted(finite)
+        values = [v for _, v in child["buckets"]]
+        assert values == sorted(values), "cumulative buckets decrease"
+        assert values[-1] == child["count"], "+Inf bucket != _count"
+        assert child["sum"] == pytest.approx(0.05 + 0.3 + 0.7 + 5.0)
+
+    def test_labeled_children_each_consistent(self, reg):
+        h = reg.histogram("rt_seconds", "RT", labelnames=("node",),
+                          buckets=(0.1, 1.0))
+        h.labels(node="a").observe(0.5)
+        h.labels(node="b").observe(2.0)
+        h.labels(node="b").observe(0.05)
+        children = self.histogram_children(reg.render_prometheus())
+        assert len(children) == 2
+        for child in children.values():
+            values = [v for _, v in child["buckets"]]
+            assert values[-1] == child["count"]
+            assert "sum" in child
+
+    def test_explicit_inf_bound_filtered(self, reg):
+        """An explicit +Inf bound would double-emit le="+Inf" (promtool
+        rejects the duplicate); the constructor must drop it."""
+        h = reg.histogram("x_seconds", buckets=(0.1, float("inf")))
+        assert h.buckets == (0.1,)
+        h.observe(0.05)
+        h.observe(99.0)
+        text = reg.render_prometheus()
+        assert text.count('le="+Inf"') == 1
+        self.parse(text)  # duplicate-series check
+
+    def test_nan_bound_rejected(self, reg):
+        with pytest.raises(ValueError, match="NaN"):
+            reg.histogram("y_seconds", buckets=(0.1, float("nan")))
+
+    def test_all_infinite_bounds_rejected(self, reg):
+        with pytest.raises(ValueError, match="finite"):
+            reg.histogram("z_seconds", buckets=(float("inf"),))
+
+    def test_self_check_catches_tampering(self, reg):
+        h = reg.histogram("t_seconds", buckets=(0.1, 1.0))
+        h.observe(0.5)
+        child = h._default_child()
+        child.count += 1  # exporter bug: count no longer sums buckets
+        with pytest.raises(ValueError, match="bucket counts"):
+            reg.self_check()
+        with pytest.raises(ValueError, match="bucket counts"):
+            reg.render_prometheus()
+        with pytest.raises(ValueError, match="bucket counts"):
+            reg.render_json()
+
+    def test_full_registry_passes_parser(self, reg):
+        reg.counter("req_total", "Requests", labelnames=("node",)) \
+            .labels(node="a").inc(3)
+        reg.gauge("depth", "Queue depth").set(2.5)
+        h = reg.histogram("lat_seconds", "Latency")
+        h.observe(0.123)
+        types, series = self.parse(reg.render_prometheus())
+        assert types["req_total"] == "counter"
+        assert types["depth"] == "gauge"
+        assert types["lat_seconds"] == "histogram"
+        assert series
+
+    def test_write_gzip_transparent(self, tmp_path, reg):
+        import gzip
+
+        reg.counter("x_total").inc(4)
+        gz = reg.write(tmp_path / "m.json.gz")
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"
+        assert json.loads(gzip.decompress(gz.read_bytes()))["x_total"]
+        prom_gz = reg.write(tmp_path / "m.prom.gz")
+        text = gzip.decompress(prom_gz.read_bytes()).decode()
+        assert text.startswith("# TYPE x_total counter")

@@ -23,7 +23,7 @@ class TestParser:
             ["table1"], ["table2"], ["figure3"], ["figure4"], ["table3"],
             ["table4"], ["table5"], ["table6"], ["ablation", "ttl"],
             ["analyze-log", "x.log"], ["gen-trace", "zipf", "-o", "t"],
-            ["all"], ["trace", "t.jsonl"],
+            ["all"], ["trace", "t.jsonl"], ["capacity"],
         ):
             args = parser.parse_args(cmd)
             assert callable(args.func)
@@ -37,6 +37,60 @@ class TestParser:
             )
             assert args.trace_out == "s.jsonl"
             assert args.metrics_out == "m.prom"
+
+    def test_streaming_flags_on_experiment_commands(self):
+        parser = build_parser()
+        for cmd in (["table3"], ["figure3"]):
+            args = parser.parse_args(
+                cmd + ["--streaming-out", "w.jsonl.gz",
+                       "--streaming-window", "0.5"]
+            )
+            assert args.streaming_out == "w.jsonl.gz"
+            assert args.streaming_window == 0.5
+
+
+class TestCapacityCommand:
+    def test_tiny_search_end_to_end(self, capsys, tmp_path):
+        json_out = tmp_path / "knee.json"
+        txt_out = tmp_path / "knee.txt"
+        windows_out = tmp_path / "windows.jsonl.gz"
+        rc = main([
+            "capacity", "--nodes", "1", "--duration", "4",
+            "--start-rate", "2", "--max-rate", "32", "--max-probes", "3",
+            "--distinct", "30", "--dashboard",
+            "--json-out", str(json_out), "--txt-out", str(txt_out),
+            "--windows-out", str(windows_out),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "knee req/s" in out
+        assert "@ knee" in out  # dashboard panel title
+        import json as _json
+
+        document = _json.loads(json_out.read_text())
+        assert document["schema"] == "repro-capacity-v1"
+        assert document["cells"][0]["nodes"] == 1
+        assert "knee req/s" in txt_out.read_text()
+        assert windows_out.read_bytes()[:2] == b"\x1f\x8b"
+
+        from repro.obs import load_streaming
+
+        windows = load_streaming(windows_out)
+        assert windows
+        assert {w["phase"] for w in windows} <= {"ramp", "bisect", "knee"}
+
+    def test_export_reproducible(self, capsys, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            rc = main([
+                "capacity", "--nodes", "1", "--duration", "4",
+                "--start-rate", "2", "--max-rate", "16",
+                "--max-probes", "2", "--distinct", "30",
+                "--json-out", str(path),
+            ])
+            assert rc == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
 
 
 class TestCommands:
