@@ -61,6 +61,7 @@ __all__ = [
     "bench_scheduler_stress_skew_ladder",
     "bench_parallel_cluster_serial",
     "bench_parallel_cluster_pdes",
+    "bench_observed_parallel_cluster",
     "run_bench",
     "write_bench_report",
     "compare_with_snapshot",
@@ -435,6 +436,40 @@ def bench_parallel_cluster_pdes() -> int:
     return _parallel_cluster(4)
 
 
+def bench_observed_parallel_cluster() -> int:
+    """A/B twin of :func:`bench_parallel_cluster_pdes` with shard-local
+    telemetry on: every shard runs its own tracer/profiler/streaming
+    collectors and the parent folds their snapshots back into one
+    observer.  The delta against the unobserved twin is the full cost of
+    observing a parallel run — per-event collector overhead plus the
+    end-of-run snapshot/merge."""
+    from .core import CacheMode
+    from .experiments.common import (
+        RunObserver,
+        observe_runs,
+        run_cluster_trace,
+    )
+    from .obs import ResourceProfiler, StreamingTelemetry, TraceCollector
+    from .sim.pdes import using_partitions
+    from .workload import zipf_cgi_trace
+
+    trace = zipf_cgi_trace(1_500, 200, zipf=0.9, cpu_time_mean=0.2, seed=11)
+    observer = RunObserver(
+        tracer=TraceCollector(),
+        profiler=ResourceProfiler(),
+        streaming=StreamingTelemetry(window=1.0),
+    )
+    with using_partitions(4, "inline"):
+        with observe_runs(observer):
+            times, _ = run_cluster_trace(16, CacheMode.COOPERATIVE, trace,
+                                         n_threads=32, n_hosts=4)
+    observer.collect_all()
+    assert times.count == 1_500
+    assert observer.profiler.resource_count() > 0
+    assert observer.tracer.spans
+    return times.count
+
+
 #: name -> zero-argument workload callable returning an event count.
 BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "event_dispatch": bench_event_dispatch,
@@ -458,6 +493,7 @@ BENCH_WORKLOADS: Dict[str, Callable[[], int]] = {
     "scheduler_stress_skew_ladder": bench_scheduler_stress_skew_ladder,
     "parallel_cluster_serial": bench_parallel_cluster_serial,
     "parallel_cluster_pdes": bench_parallel_cluster_pdes,
+    "observed_parallel_cluster": bench_observed_parallel_cluster,
 }
 
 

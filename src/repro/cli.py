@@ -60,6 +60,48 @@ def _export(rows, args) -> None:
         print(f"(structured rows exported to {export})")
 
 
+def _provenance_meta(args) -> dict:
+    """The provenance manifest embedded in every ``--*-out`` export.
+
+    Records what produced the artifact — seed, scheduler, directory
+    protocol, shard layout (``--parallel-sim``/``--sim-backend``/
+    ``--jobs``), a hash of the full argument set, and the repro version —
+    so an export found on disk answers "which run was this?" without a
+    lab notebook.  Output paths are excluded from the hash: the same run
+    written to a different file must produce the same manifest (CI
+    compares same-seed exports byte for byte).  No wall clock, hostname,
+    or interpreter detail belongs here for the same reason.
+    """
+    import hashlib
+    import json as _json
+
+    from . import __version__
+
+    knobs = {
+        k: v for k, v in vars(args).items()
+        if not callable(v)
+        and k not in ("output", "export", "output_dir")
+        and not k.endswith("_out")
+    }
+    config_hash = hashlib.sha256(
+        _json.dumps(knobs, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()[:12]
+    directory = getattr(args, "directory", None)
+    if directory is None and getattr(args, "protocols", None):
+        directory = ",".join(args.protocols)
+    return {
+        "version": __version__,
+        "command": getattr(args, "command", None),
+        "seed": getattr(args, "seed", None),
+        "scheduler": getattr(args, "scheduler", None) or "heap",
+        "directory": directory,
+        "parallel_sim": getattr(args, "parallel_sim", None),
+        "sim_backend": getattr(args, "sim_backend", None) or "auto",
+        "jobs": getattr(args, "jobs", None),
+        "config_hash": config_hash,
+    }
+
+
 @contextmanager
 def _observability(args):
     """Install a run observer when ``--trace-out``/``--metrics-out``/
@@ -112,8 +154,9 @@ def _observability(args):
     with observe_runs(observer):
         yield observer
     observer.collect_all()
+    meta = _provenance_meta(args)
     if trace_out:
-        observer.tracer.write_jsonl(trace_out)
+        observer.tracer.write_jsonl(trace_out, meta=meta)
         note = ""
         if observer.tracer.dropped:
             note = f", {observer.tracer.dropped} dropped at capacity"
@@ -122,10 +165,10 @@ def _observability(args):
             f"{trace_out}{note})"
         )
     if metrics_out:
-        observer.registry.write(metrics_out)
+        observer.registry.write(metrics_out, meta=meta)
         print(f"(metrics written to {metrics_out})")
     if audit_out:
-        observer.oracle.write_jsonl(audit_out)
+        observer.oracle.write_jsonl(audit_out, meta=meta)
         note = ""
         if observer.oracle.dropped_records:
             note = f", {observer.oracle.dropped_records} dropped at capacity"
@@ -134,27 +177,27 @@ def _observability(args):
             f"{audit_out}{note}; inspect with `repro audit`)"
         )
     if timeseries_out:
-        observer.timeseries.write_jsonl(timeseries_out)
+        observer.timeseries.write_jsonl(timeseries_out, meta=meta)
         print(
             f"(timeseries: {len(observer.timeseries.samples)} samples "
             f"written to {timeseries_out})"
         )
     if profile_out:
-        observer.profiler.write_json(profile_out)
+        observer.profiler.write_json(profile_out, meta=meta)
         note = ""
         if observer.profiler.dropped:
             note = f", {observer.profiler.dropped} probes dropped at capacity"
         print(
-            f"(profile: {len(observer.profiler.probes)} resources written "
-            f"to {profile_out}{note}; inspect with `repro profile`)"
+            f"(profile: {observer.profiler.resource_count()} resources "
+            f"written to {profile_out}{note}; inspect with `repro profile`)"
         )
     if streaming_out:
-        observer.streaming.write_jsonl(streaming_out)
+        observer.streaming.write_jsonl(streaming_out, meta=meta)
         if observer.registry is not None:
             from .obs import collect_streaming
 
             collect_streaming(observer.registry, observer.streaming)
-            observer.registry.write(metrics_out)
+            observer.registry.write(metrics_out, meta=meta)
         flagged = sum(1 for w in observer.streaming.windows if w.saturated)
         print(
             f"(streaming: {len(observer.streaming.windows)} windows "
@@ -164,7 +207,7 @@ def _observability(args):
         from .obs import aggregate_blame, write_critical
 
         records = observer.critical_records()
-        write_critical(aggregate_blame(records), critical_out)
+        write_critical(aggregate_blame(records), critical_out, meta=meta)
         note = ""
         if observer.profiler.intervals_dropped:
             note = (
@@ -995,8 +1038,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--parallel-sim", type=positive_shards, default=None, metavar="K",
             help="shard each cluster simulation over K simulators under "
             "conservative (lookahead = LAN latency) synchronization; "
-            "results match the serial run (verify with `repro diff`); "
-            "ignored by runs that have an observability flag active",
+            "results and observability exports match the serial run "
+            "(verify with `repro diff`); only --audit-out forces the "
+            "run back to serial",
         )
         p.add_argument(
             "--sim-backend", choices=["auto", "inline", "process"],
@@ -1013,8 +1057,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="fan independent runs over N worker processes (sweep "
-            "commands; results are identical to a serial run; falls back "
-            "to serial when any observability flag is active)",
+            "commands; results and observability exports are identical "
+            "to a serial run; only --audit-out falls back to serial)",
         )
         scheduler_opt(p)
         parallel_sim_opt(p)
@@ -1418,7 +1462,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (
+        getattr(args, "audit_out", None)
+        and getattr(args, "parallel_sim", None)
+        and getattr(args, "sim_backend", None) == "process"
+    ):
+        # Every other observer merges from shards; the consistency oracle
+        # needs the global event order, so an audited run is serial.  With
+        # the inline/auto backends we downgrade with a warning, but a user
+        # who *explicitly* asked for OS-process shards AND an audit asked
+        # for two incompatible things — refuse rather than silently ignore
+        # one of them.
+        parser.error(
+            "--audit-out cannot be combined with --sim-backend process: "
+            "the consistency oracle audits the global event order and "
+            "cannot be merged from process-isolated shards. Drop "
+            "--audit-out, or use --sim-backend inline/auto to let the "
+            "run fall back to serial (with a warning)."
+        )
     scheduler = getattr(args, "scheduler", None)
     if scheduler:
         # Process-global: every Simulator the command creates (including

@@ -111,6 +111,10 @@ class ClientFleet:
         self.sim = sim
         self.network = network
         parts = trace.split(n_threads)
+        # Deterministic per-fleet names (not the process-global client-id
+        # counter): probe/resource names derive from them, and exports
+        # must come out identical whether a sweep runs serially, across
+        # ``--jobs`` workers, or sharded over PDES partitions.
         self.threads: List[ClientThread] = [
             ClientThread(
                 sim=sim,
@@ -119,6 +123,7 @@ class ClientFleet:
                 server=servers[i % len(servers)],
                 requests=parts[i],
                 think_time=think_time,
+                name=f"client{i}",
             )
             for i in range(n_threads)
         ]

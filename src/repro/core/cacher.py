@@ -25,7 +25,7 @@ import itertools
 from typing import Generator, List, Optional
 
 from ..cache import CacheEntry, CacheStore
-from ..hosts import Machine
+from ..hosts import FileNotFound, Machine
 from ..net import Network
 from ..sim import Event, Simulator, Store
 from ..workload import Request
@@ -174,10 +174,18 @@ class CacherModule:
         yield self.machine.dispatch_thread()
         now = self.sim.now
         entry = self.store.get(freq.url)
-        if entry is not None and not entry.expired(now):
+        if entry is not None and entry.expired(now):
+            entry = None
+        if entry is not None:
+            try:
+                yield from self.machine.serve_file(entry.file_path, mmap=True)
+            except FileNotFound:
+                # Evicted while this thread was inside open(): same
+                # false-hit outcome as losing the race before dispatch.
+                entry = None
+        if entry is not None:
             if self.is_stale(entry):
                 self.stats.stale_hits += 1
-            yield from self.machine.serve_file(entry.file_path, mmap=True)
             yield from self.record_hit(freq.url)
             size = FETCH_HEADER_BYTES + entry.size
             yield self.machine.send_bytes_cpu(size)
@@ -312,21 +320,23 @@ class CacherModule:
 
     def fetch_local(self, url: str, span=None) -> Generator:
         """Process: serve a hit from our own cache; returns the entry or
-        ``None`` if it vanished since the lookup (race with the purger)."""
+        ``None`` if it vanished since the lookup (race with the purger,
+        or a capacity eviction landing while this thread is inside the
+        open/stat syscall — a real server's open() returns ENOENT there
+        and falls through to execution, Fig. 2's miss arrow)."""
         entry = self.store.get(url)
         if entry is None or entry.expired(self.sim.now):
             return None
-        if span is None or self.tracer is None:
-            if self.is_stale(entry):
-                self.stats.stale_hits += 1
-            yield from self.machine.serve_file(entry.file_path, mmap=True)
-            yield from self.record_hit(url)
-            return entry
         child = self._span(span, "fetch-local", "disk")
         try:
+            try:
+                yield from self.machine.serve_file(entry.file_path, mmap=True)
+            except FileNotFound:
+                self._end_span(child, vanished=True)
+                child = None
+                return None
             if self.is_stale(entry):
                 self.stats.stale_hits += 1
-            yield from self.machine.serve_file(entry.file_path, mmap=True)
             yield from self.record_hit(url)
         finally:
             self._end_span(child)

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..clients import ClientFleet, ClientThread
 from ..core import CacheMode, SwalaCluster, SwalaConfig, SwalaServer
@@ -15,8 +17,11 @@ from ..workload import Trace
 
 __all__ = [
     "RunObserver",
+    "ObserverSpec",
     "observe_runs",
     "current_observer",
+    "oracle_forces_serial",
+    "partitioned_observed_run",
     "single_swala",
     "run_single_server_fleet",
     "run_cluster_trace",
@@ -150,6 +155,119 @@ class RunObserver:
         for target in list(self.targets):
             self.collect(target)
 
+    # -- snapshot / merge --------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable snapshots of every mergeable collector.
+
+        Finalizes first (via :meth:`collect_all`), so a ``--jobs`` worker
+        can run its cells to completion, snapshot, and ship the bundle
+        back over the pool result channel.  The oracle is deliberately
+        absent: it audits global event order and cannot be sharded.
+        """
+        self.collect_all()
+        return {
+            "tracer": self.tracer.snapshot() if self.tracer else None,
+            "registry": self.registry.snapshot() if self.registry else None,
+            "timeseries":
+                self.timeseries.snapshot() if self.timeseries else None,
+            "profiler": self.profiler.snapshot() if self.profiler else None,
+            "streaming":
+                self.streaming.snapshot() if self.streaming else None,
+        }
+
+    def shard_snapshot(self, horizon: Optional[float] = None) -> Dict[str, Any]:
+        """Like :meth:`snapshot`, but for a PDES shard's local observer.
+
+        ``horizon`` is the coordinator's global terminal time: shard
+        simulators overshoot the run's end by up to one conservative
+        window, so probe integrals are frozen at the shared horizon
+        instead of each shard's own final clock.
+        """
+        if self.profiler is not None:
+            self.profiler.finalize(at=horizon)
+        if self.streaming is not None:
+            self.streaming.finalize()
+        return {
+            "tracer": self.tracer.snapshot() if self.tracer else None,
+            "registry": None,  # scraped parent-side from the merged view
+            "timeseries":
+                self.timeseries.snapshot() if self.timeseries else None,
+            "profiler": self.profiler.snapshot() if self.profiler else None,
+            "streaming":
+                self.streaming.snapshot() if self.streaming else None,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold one worker's :meth:`snapshot` onto this observer.
+
+        Sequential-concatenation semantics: the worker's runs become the
+        next runs of this observer, with trace/span ids offset past the
+        ids already assigned here — folding worker bundles in cell order
+        reproduces the serial sweep's numbering exactly.
+        """
+        trace_off = span_off = 0
+        if self.tracer is not None and snap.get("tracer") is not None:
+            trace_off, span_off = self.tracer.merge_snapshot(snap["tracer"])
+        if self.registry is not None and snap.get("registry") is not None:
+            self.registry.merge_snapshot(snap["registry"])
+        if self.timeseries is not None and snap.get("timeseries") is not None:
+            self.timeseries.merge_snapshot(snap["timeseries"])
+        if self.profiler is not None and snap.get("profiler") is not None:
+            self.profiler.merge_snapshot(
+                snap["profiler"],
+                trace_offset=trace_off, span_offset=span_off,
+            )
+        if self.streaming is not None and snap.get("streaming") is not None:
+            self.streaming.merge_snapshot(snap["streaming"])
+
+    def merge_shard_snapshots(
+        self,
+        snaps: Sequence[Optional[Dict[str, Any]]],
+        horizon: Optional[float] = None,
+        n_servers: Optional[int] = None,
+    ) -> None:
+        """Fold per-shard snapshots of ONE partitioned simulation.
+
+        Unlike :meth:`merge_snapshot`, every shard lands in the *same*
+        merged run (they are slices of one simulation): each collector's
+        current run count is the fixed base for all shards, and shards
+        fold in shard-id order so ids and export order are deterministic.
+        ``horizon`` trims shard overshoot from the time series;
+        ``n_servers`` is the full cluster size for the streaming ρ.
+        """
+        snaps = [s for s in snaps if s is not None]
+        if not snaps:
+            return
+        offsets = [(0, 0)] * len(snaps)
+        if self.tracer is not None:
+            base = self.tracer.run
+            offsets = [
+                self.tracer.merge_snapshot(snap["tracer"], run_base=base)
+                if snap.get("tracer") is not None else (0, 0)
+                for snap in snaps
+            ]
+        if self.profiler is not None:
+            base = self.profiler.run
+            for snap, (toff, soff) in zip(snaps, offsets):
+                if snap.get("profiler") is not None:
+                    self.profiler.merge_snapshot(
+                        snap["profiler"], run_base=base,
+                        trace_offset=toff, span_offset=soff,
+                    )
+        if self.timeseries is not None:
+            base = self.timeseries.run
+            for snap in snaps:
+                if snap.get("timeseries") is not None:
+                    self.timeseries.merge_snapshot(
+                        snap["timeseries"], run_base=base, horizon=horizon,
+                    )
+        if self.streaming is not None:
+            self.streaming.merge_shard_snapshots(
+                [snap["streaming"] for snap in snaps
+                 if snap.get("streaming") is not None],
+                n_servers=n_servers,
+            )
+
     def critical_records(self):
         """Per-request blame decompositions (``--critical-out``).
 
@@ -164,11 +282,117 @@ class RunObserver:
         from ..obs import decompose
 
         intervals = (
-            self.profiler.intervals
+            self.profiler.all_intervals()
             if self.profiler is not None and self.profiler.linker is not None
             else None
         )
         return decompose(self.tracer, intervals)
+
+
+@dataclass(frozen=True)
+class ObserverSpec:
+    """Picklable recipe for rebuilding a :class:`RunObserver` elsewhere.
+
+    ``--jobs`` workers and PDES shards cannot share the parent's live
+    collectors, so the parent ships this spec across the process/pipe
+    boundary, each worker builds its own observer from it, runs, and
+    ships a :meth:`RunObserver.snapshot` back for merging.  Each field
+    holds the collector's constructor kwargs, or ``None`` when that
+    collector is off; the oracle has no field — it is serial-only.
+    """
+
+    tracer: Optional[Dict[str, Any]] = None
+    registry: bool = False
+    timeseries: Optional[Dict[str, Any]] = None
+    timeseries_dt: float = 1.0
+    profiler: Optional[Dict[str, Any]] = None
+    streaming: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_observer(cls, observer: "RunObserver") -> "ObserverSpec":
+        """Capture the observer's collector configuration (not its data)."""
+        tracer = timeseries = profiler = streaming = None
+        registry = observer.registry is not None
+        if observer.tracer is not None:
+            tracer = {
+                "max_spans": observer.tracer.max_spans,
+                "max_events": observer.tracer.events.maxlen,
+            }
+        if observer.timeseries is not None:
+            timeseries = {"max_samples": observer.timeseries.max_samples}
+        if observer.profiler is not None:
+            profiler = {
+                "max_resources": observer.profiler.max_resources,
+                "record_intervals": observer.profiler.linker is not None,
+                "max_intervals": observer.profiler.max_intervals,
+            }
+        if observer.streaming is not None:
+            s = observer.streaming
+            streaming = {
+                "window": s.window,
+                "slo": s.slo,  # frozen dataclass, picklable
+                "compression": s.compression,
+                "keep_exact": s.keep_exact,
+                "max_windows": s.max_windows,
+                "ewma_halflife": s.rate_ewma.halflife,
+            }
+        return cls(
+            tracer=tracer,
+            registry=registry,
+            timeseries=timeseries,
+            timeseries_dt=observer.timeseries_dt,
+            profiler=profiler,
+            streaming=streaming,
+        )
+
+    def for_shard(self) -> "ObserverSpec":
+        """The spec a PDES shard builds from: no registry (the parent
+        scrapes node stats off the merged result view instead, so the
+        shard-disjoint counters are never double-counted)."""
+        return replace(self, registry=False)
+
+    def build(self) -> "RunObserver":
+        """Construct a fresh observer with empty collectors."""
+        from ..obs import (
+            MetricsRegistry,
+            ResourceProfiler,
+            StreamingTelemetry,
+            TimeSeriesLog,
+            TraceCollector,
+        )
+
+        return RunObserver(
+            tracer=TraceCollector(**self.tracer)
+                if self.tracer is not None else None,
+            registry=MetricsRegistry() if self.registry else None,
+            timeseries=TimeSeriesLog(**self.timeseries)
+                if self.timeseries is not None else None,
+            timeseries_dt=self.timeseries_dt,
+            profiler=ResourceProfiler(**self.profiler)
+                if self.profiler is not None else None,
+            streaming=StreamingTelemetry(**self.streaming)
+                if self.streaming is not None else None,
+        )
+
+
+def oracle_forces_serial(observer: Optional[object], what: str) -> bool:
+    """True (with a loud warning) when ``observer`` carries the
+    consistency oracle, which audits *global* event order and therefore
+    cannot be sharded over simulators or worker processes.
+
+    ``what`` names the parallelism being declined (``"--parallel-sim"``
+    or ``"--jobs"``) so the warning tells the user which flag lost.
+    """
+    if observer is None or getattr(observer, "oracle", None) is None:
+        return False
+    warnings.warn(
+        f"--audit-out keeps the run serial: the consistency oracle needs "
+        f"the global event order and cannot be merged from shards; "
+        f"drop --audit-out or {what} to silence this",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return True
 
 
 # The active-observer slot lives in ``repro.obs.runtime`` so that core
@@ -227,6 +451,59 @@ def run_single_server_fleet(
     return times, server
 
 
+def partitioned_observed_run(
+    n_nodes: int,
+    config: SwalaConfig,
+    trace: Trace,
+    n_threads: int = 16,
+    n_hosts: int = 2,
+    costs: Optional[MachineCosts] = None,
+    n_shards: int = 2,
+    backend: str = "auto",
+    install: bool = True,
+    think_time: float = 0.0,
+    host_prefix: str = "wsclient",
+):
+    """Partitioned run that keeps the active observer fed.
+
+    Wraps :func:`repro.experiments.partition.run_partitioned_fleet`:
+    when an observer is active, each shard gets its own collectors
+    (built from an :class:`ObserverSpec`), and the per-shard snapshots
+    are folded back into the live observer here — one merged run,
+    deterministic regardless of backend.  The caller must have already
+    declined the oracle (see :func:`oracle_forces_serial`).
+    """
+    from .partition import run_partitioned_fleet
+
+    observer = current_observer()
+    obs_spec = (
+        ObserverSpec.from_observer(observer).for_shard()
+        if observer is not None else None
+    )
+    times, view = run_partitioned_fleet(
+        n_nodes,
+        config,
+        trace,
+        n_threads=n_threads,
+        n_hosts=n_hosts,
+        costs=costs,
+        think_time=think_time,
+        install=install,
+        n_shards=n_shards,
+        backend=backend,
+        obs_spec=obs_spec,
+        host_prefix=host_prefix,
+    )
+    if observer is not None:
+        observer.merge_shard_snapshots(
+            view.obs_snapshots,
+            horizon=view.terminal_time,
+            n_servers=n_nodes,
+        )
+        observer.collect(view)
+    return times, view
+
+
 def run_cluster_trace(
     n_nodes: int,
     mode: CacheMode,
@@ -244,18 +521,23 @@ def run_cluster_trace(
     When ``--parallel-sim`` set a process-global partition count (see
     :func:`repro.sim.pdes.set_sim_partitions`), the run is sharded over
     that many simulators under conservative synchronization instead —
-    same workload, same timeline, merged results.  Observed runs
-    (``--trace-out`` etc.) always take the serial path: the observability
-    taps assume one simulator.
+    same workload, same timeline, merged results.  Observed runs take
+    the partitioned path too: each shard carries its own collectors and
+    the snapshots merge deterministically (see
+    :meth:`RunObserver.merge_shard_snapshots`).  Only the consistency
+    oracle (``--audit-out``) still forces the serial path, with a
+    warning.
     """
     from ..sim.pdes import sim_partitions
 
     n_shards, backend = sim_partitions()
     config = SwalaConfig(mode=mode, **(config_kw or {}))
-    if n_shards > 1 and n_nodes > 1 and current_observer() is None:
-        from .partition import run_partitioned_fleet
-
-        return run_partitioned_fleet(
+    observer = current_observer()
+    if (
+        n_shards > 1 and n_nodes > 1
+        and not oracle_forces_serial(observer, "--parallel-sim")
+    ):
+        return partitioned_observed_run(
             n_nodes,
             config,
             trace,
@@ -268,7 +550,6 @@ def run_cluster_trace(
     sim = Simulator()
     cluster = SwalaCluster(sim, n_nodes, config, costs=costs)
     cluster.install_files(trace)
-    observer = current_observer()
     if observer is not None:
         observer.attach(cluster)
     cluster.start()

@@ -8,12 +8,18 @@ use: it runs a module-level worker once per parameter cell and returns
 the results in cell order, so a parallel sweep renders the exact same
 table as a serial one.
 
-Two fallbacks keep correctness ahead of speed:
+Observed sweeps (``--trace-out`` / ``--metrics-out`` / ...) fan out too:
+the parent ships a picklable
+:class:`~repro.experiments.common.ObserverSpec` to each worker, the
+worker runs its cell under a fresh local observer, and the collector
+snapshots ride back on the pool result channel to be folded in cell
+order — reproducing the serial sweep's run numbering and span ids
+exactly.  Two fallbacks keep correctness ahead of speed:
 
-* **observer-aware**: when a :class:`~repro.experiments.common.RunObserver`
-  is active (``--trace-out`` / ``--metrics-out``), runs stay serial and
-  in-process so the observer sees every cluster; worker processes could
-  not report spans back.
+* **oracle-aware**: the consistency oracle (``--audit-out``) audits
+  global event order and cannot be merged from workers, so it forces a
+  serial sweep — loudly, via :func:`~repro.experiments.common.oracle_forces_serial`,
+  never silently.
 * **degenerate sweeps**: one cell (or ``jobs <= 1``) runs inline with no
   pool setup cost.
 
@@ -35,19 +41,36 @@ __all__ = ["effective_jobs", "fanout"]
 def effective_jobs(jobs: Optional[int], n_cells: int) -> int:
     """How many worker processes a sweep will actually use.
 
-    ``None``/``<=1`` mean serial; an active run observer forces serial
-    (tracing and metrics collection happen in-process).
+    ``None``/``<=1`` mean serial; an active consistency oracle
+    (``--audit-out``) forces serial with a warning — every other
+    collector merges, so it no longer downgrades the sweep.
     """
     if jobs is None or jobs <= 1 or n_cells <= 1:
         return 1
-    if runtime.current_observer() is not None:
-        return 1
+    observer = runtime.current_observer()
+    if observer is not None:
+        from .common import oracle_forces_serial
+
+        if oracle_forces_serial(observer, "--jobs"):
+            return 1
     return min(jobs, n_cells)
 
 
 def _invoke(payload):
     worker, kwargs = payload
     return worker(**kwargs)
+
+
+def _invoke_observed(payload):
+    """Worker side of an observed fan-out: run the cell under a fresh
+    observer built from the spec, return ``(result, snapshot bundle)``."""
+    worker, kwargs, spec = payload
+    from .common import observe_runs
+
+    observer = spec.build()
+    with observe_runs(observer):
+        result = worker(**kwargs)
+    return result, observer.snapshot()
 
 
 def fanout(
@@ -57,9 +80,11 @@ def fanout(
 ) -> List[Any]:
     """Run ``worker(**cell)`` for every cell; results in cell order.
 
-    With ``jobs`` > 1 (and no active observer) the cells are distributed
-    over a ``multiprocessing`` pool; ordering of the returned list is the
-    cell order either way, so downstream rendering is deterministic.
+    With ``jobs`` > 1 the cells are distributed over a
+    ``multiprocessing`` pool; ordering of the returned list is the cell
+    order either way, so downstream rendering is deterministic.  When an
+    observer is active its collectors are rebuilt per worker cell and
+    the snapshots merged back in cell order (see the module docstring).
     """
     cells = list(cells)
     n_workers = effective_jobs(jobs, len(cells))
@@ -67,6 +92,21 @@ def fanout(
         return [worker(**cell) for cell in cells]
     from ..parallel import map_parallel
 
-    return map_parallel(
-        _invoke, [(worker, cell) for cell in cells], n_workers=n_workers
+    observer = runtime.current_observer()
+    if observer is None:
+        return map_parallel(
+            _invoke, [(worker, cell) for cell in cells], n_workers=n_workers
+        )
+    from .common import ObserverSpec
+
+    spec = ObserverSpec.from_observer(observer)
+    pairs = map_parallel(
+        _invoke_observed,
+        [(worker, cell, spec) for cell in cells],
+        n_workers=n_workers,
     )
+    results = []
+    for result, snap in pairs:
+        observer.merge_snapshot(snap)
+        results.append(result)
+    return results

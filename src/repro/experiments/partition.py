@@ -27,6 +27,7 @@ from ..clients import ClientThread
 from ..core import SwalaCluster, SwalaConfig
 from ..core.stats import ClusterStats
 from ..net import DEFAULT_LATENCY, Network
+from ..obs import runtime as obs_runtime
 from ..sim import AllOf, Simulator, Tally
 from ..sim.pdes import (
     ConservativeCoordinator,
@@ -56,6 +57,7 @@ def build_fleet_shard(
     think_time: float = 0.0,
     install: bool = True,
     host_prefix: str = "wsclient",
+    obs_spec=None,
 ) -> ShardSpec:
     """Build shard ``shard`` of the partitioned fleet run.
 
@@ -63,6 +65,14 @@ def build_fleet_shard(
     backend can run it inside a worker.  Every shard derives the same
     global layout (node names, host list, trace split) and keeps only
     its own slice.
+
+    ``obs_spec`` (an :class:`~repro.experiments.common.ObserverSpec`)
+    asks for a shard-local observer: the shard builds its own collectors
+    from the spec, attaches them to its slice of the cluster, and ships
+    their snapshots back inside the finalize payload (under ``"obs"``)
+    for the parent to merge.  The ambient process-global observer is
+    deliberately shadowed during the build — with the inline backend the
+    parent's live observer would otherwise attach itself to every shard.
     """
     sim = Simulator()
     network = Network(sim)
@@ -94,30 +104,37 @@ def build_fleet_shard(
             cluster.install_files(trace)
 
     parts = trace.split(n_threads)
+    # Thread names must share the serial fleet's ``client...`` family:
+    # resource probes aggregate provenance by process-name family, so a
+    # different prefix would drift an observed profile export.
     threads = [
-        ClientThread(
+        (i, ClientThread(
             sim=sim,
             network=network,
             host=client_hosts[i % n_hosts],
             server=node_names[i % n_nodes],
             requests=parts[i],
             think_time=think_time,
-            name=f"fleet{i}",
-        )
+            name=f"client{i}",
+        ))
         for i in range(n_threads)
         if (i % n_hosts) % n_shards == shard
     ]
 
-    if cluster is not None:
-        cluster.start()
-    procs = [t.start() for t in threads]
+    observer = obs_spec.build() if obs_spec is not None else None
+    with obs_runtime.observing(observer):
+        if cluster is not None:
+            cluster.start()
+        procs = [t.start() for _, t in threads]
     terminal = AllOf(sim, procs) if procs else None
 
-    def finalize() -> Dict[str, Any]:
+    def finalize(horizon: Optional[float] = None) -> Dict[str, Any]:
         return {
-            "threads": [
-                (int(t.name[len("fleet"):]), t.response_times) for t in threads
-            ],
+            "obs": (
+                observer.shard_snapshot(horizon)
+                if observer is not None else None
+            ),
+            "threads": [(i, t.response_times) for i, t in threads],
             "stats": [
                 (i, server.stats)
                 for i, server in zip(local_nodes, cluster.servers)
@@ -165,6 +182,10 @@ class PartitionedClusterResult:
         self.n_shards = n_shards
         self.backend = backend
         self.rounds = rounds
+        #: Per-shard observer snapshots (shard-id order) and the global
+        #: terminal time; filled in by :func:`run_partitioned_fleet`.
+        self.obs_snapshots: List[Optional[dict]] = []
+        self.terminal_time: Optional[float] = None
         by_node: Dict[int, Any] = {}
         cached: Dict[int, int] = {}
         waits: Dict[int, float] = {}
@@ -244,12 +265,20 @@ def run_partitioned_fleet(
     install: bool = True,
     n_shards: int = 2,
     backend: str = "auto",
+    obs_spec=None,
+    host_prefix: str = "wsclient",
 ):
     """Partitioned twin of ``run_cluster_trace``: returns ``(times, view)``.
 
     ``n_shards`` is clamped to the node count (an empty shard would add
     synchronization cost for nothing).  Backend ``auto`` resolves per
     machine (see :func:`repro.sim.pdes.resolve_backend`).
+
+    With ``obs_spec`` set, each shard runs its own collectors; the view
+    carries the raw per-shard snapshots as ``view.obs_snapshots`` (in
+    shard-id order) plus the coordinator's global terminal time as
+    ``view.terminal_time`` — the caller folds them into its live
+    observer with :meth:`RunObserver.merge_shard_snapshots`.
     """
     if n_nodes < 2:
         raise ValueError("partitioned runs need at least 2 nodes")
@@ -265,6 +294,8 @@ def run_partitioned_fleet(
         costs=costs,
         think_time=think_time,
         install=install,
+        obs_spec=obs_spec,
+        host_prefix=host_prefix,
     )
     if backend == "process":
         shards = [
@@ -282,7 +313,10 @@ def run_partitioned_fleet(
         summaries = coordinator.finalize()
     finally:
         coordinator.stop()
+    obs_snapshots = [summary.pop("obs", None) for summary in summaries]
     view = PartitionedClusterResult(
         n_nodes, n_shards, backend, coordinator.rounds, summaries
     )
+    view.obs_snapshots = obs_snapshots
+    view.terminal_time = coordinator.terminal_time
     return view.merged_response_times(), view

@@ -388,9 +388,12 @@ def to_json(data: Dict[str, Any]) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-def write_critical(data: Dict[str, Any], path: Union[str, Path]) -> Path:
+def write_critical(data: Dict[str, Any], path: Union[str, Path],
+                   meta=None) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if meta:
+        data = dict(data, meta=dict(meta))
     write_text(path, to_json(data))
     return path
 

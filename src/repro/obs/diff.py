@@ -52,6 +52,25 @@ def flatten_json(data: Any, prefix: str = "") -> Dict[str, float]:
     return out
 
 
+def _flatten_meta(meta: Dict[str, Any]) -> Dict[str, float]:
+    """Provenance manifest fields as ``meta.*`` counters.
+
+    Numbers map directly; strings become presence counters
+    (``meta.key[value] = 1``) so a changed scheduler or protocol shows
+    up as an added+removed pair instead of being silently skipped.
+    ``diff_counters`` ignores ``meta.*`` unless ``--only meta`` asks.
+    """
+    out: Dict[str, float] = {}
+    for key, value in meta.items():
+        if key == "type" or value is None:
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"meta.{key}"] = float(value)
+        else:
+            out[f"meta.{key}[{value}]"] = 1.0
+    return out
+
+
 def _flatten_profile(data: Dict[str, Any]) -> Dict[str, float]:
     """Profile JSON keyed by resource name, not list index, so reordered
     or added resources shift nothing else."""
@@ -88,7 +107,9 @@ def _flatten_jsonl(path: Path) -> Dict[str, float]:
         if not line:
             continue
         record = json.loads(line)
-        if "class" in record:  # audit
+        if record.get("type") == "meta":  # provenance manifest
+            counts.update(_flatten_meta(record))
+        elif "class" in record:  # audit
             counts[f"class.{record['class']}"] = (
                 counts.get(f"class.{record['class']}", 0.0) + 1.0
             )
@@ -137,9 +158,16 @@ def load_counters(path: Union[str, Path]) -> Dict[str, float]:
     if logical_suffix(path) == ".jsonl":
         return _flatten_jsonl(path)
     data = json.loads(read_text(path))
+    out: Dict[str, float] = {}
+    if isinstance(data, dict):
+        meta = data.pop("meta", None)
+        if isinstance(meta, dict):
+            out.update(_flatten_meta(meta))
     if isinstance(data, dict) and "resources" in data and "version" in data:
-        return _flatten_profile(data)
-    return flatten_json(data)
+        out.update(_flatten_profile(data))
+    else:
+        out.update(flatten_json(data))
+    return out
 
 
 class CounterDelta:
@@ -185,7 +213,12 @@ def diff_counters(
     A counter drifts when ``|delta| > abs_threshold`` **and** its
     relative change exceeds ``threshold`` (missing/added counters always
     drift).  ``ignore``/``only`` filter by substring match on the name.
+    Provenance manifests (``meta.*``) are ignored unless ``only`` names
+    them: a parallel run legitimately carries a different shard layout
+    than the serial run it must otherwise match counter for counter.
     """
+    if not only:
+        ignore = tuple(ignore) + ("meta.",)
     names = sorted(set(base) | set(current))
     out: List[CounterDelta] = []
     for name in names:

@@ -13,10 +13,17 @@ determinism gate in CI.
 from __future__ import annotations
 
 import gzip
+import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Mapping, Union
 
-__all__ = ["is_gzip_path", "logical_suffix", "read_text", "write_text"]
+__all__ = [
+    "is_gzip_path",
+    "logical_suffix",
+    "meta_line",
+    "read_text",
+    "write_text",
+]
 
 _GZIP_MAGIC = b"\x1f\x8b"
 
@@ -35,6 +42,22 @@ def logical_suffix(path: Union[str, Path]) -> str:
     if name.endswith(".gz"):
         name = name[: -len(".gz")]
     return Path(name).suffix
+
+
+def meta_line(meta: Mapping[str, Any]) -> str:
+    """The provenance manifest as one JSONL record (``"type": "meta"``).
+
+    Every ``--*-out`` exporter embeds this as its first line (JSONL
+    kinds) or under a top-level ``"meta"`` key (JSON kinds) so an export
+    carries the run parameters that produced it — seed, scheduler,
+    directory protocol, shard layout, config hash, repro version.  The
+    manifest must stay wall-clock- and machine-free: same-seed exports
+    are compared byte for byte in CI.  ``repro diff`` ignores ``meta.*``
+    counters by default and compares them under ``--only meta``.
+    """
+    record: dict = {"type": "meta"}
+    record.update(meta)
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
 def read_text(path: Union[str, Path]) -> str:

@@ -62,7 +62,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..metrics.ascii import sparkline
 from ..metrics.reporting import render_table
 
-from .ioutil import read_text, write_text
+from .ioutil import meta_line, read_text, write_text
 
 __all__ = [
     "ConsistencyOracle",
@@ -601,10 +601,13 @@ class ConsistencyOracle:
                 )
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path: Union[str, Path]) -> Path:
+    def write_jsonl(self, path: Union[str, Path], meta=None) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_text(path, self.to_jsonl())
+        text = self.to_jsonl()
+        if meta:
+            text = meta_line(meta) + "\n" + text
+        write_text(path, text)
         return path
 
     def __repr__(self) -> str:
@@ -660,6 +663,8 @@ def load_audit(path: Union[str, Path]) -> AuditDump:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+        if data.get("type") == "meta":
+            continue  # provenance manifest, not audit content
         sink = sinks.get(data.get("type"))
         if sink is None:
             raise ValueError(

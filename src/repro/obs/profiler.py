@@ -340,11 +340,32 @@ class ResourceProbe:
         self.completions += 1
 
     # -- finalize / export ------------------------------------------------
-    def finalize(self) -> None:
-        """Flush the occupancy integrals up to ``sim.now`` and freeze the
-        horizon.  Idempotent; safe to call after the simulation stopped."""
+    def finalize(self, at: Optional[float] = None) -> None:
+        """Flush the occupancy integrals and freeze the horizon.
+
+        Idempotent; safe to call after the simulation stopped.  ``at``
+        overrides the horizon: a PDES shard's simulator overshoots the
+        global terminal instant by up to one conservative window (see
+        :mod:`repro.sim.pdes`), so shard probes finalize at the
+        coordinator's terminal time instead of their own ``sim.now`` —
+        the integrals then cover exactly the window a serial probe would
+        have observed.  ``at`` never rewinds below the last accounted
+        event (the occupancy integrals must keep summing to the observed
+        window).
+        """
         self._advance()
-        self.horizon = self.sim.now
+        horizon = self.sim.now if at is None else max(at, self._last)
+        dt = horizon - self._last
+        if dt > 0.0:
+            ins, q = self.in_service, self.queued
+            self.busy_time += ins * dt
+            self.queue_time += q * dt
+            occ = self.busy_occupancy
+            occ[ins] = occ.get(ins, 0.0) + dt
+            occ = self.queue_occupancy
+            occ[q] = occ.get(q, 0.0) + dt
+            self._last = horizon
+        self.horizon = horizon
         if self.kind == "cpu" and self.owner is not None:
             self.cpu_busy_time = self.owner.projected_busy_time()
 
@@ -448,6 +469,12 @@ class ResourceProfiler:
         self.intervals: List[Dict[str, Any]] = []
         #: Interval records not stored because ``max_intervals`` was hit.
         self.intervals_dropped = 0
+        #: Frozen resource/lock/interval records folded in from other
+        #: profilers' snapshots (shard or pool workers); exported
+        #: alongside this profiler's own live probes.
+        self._merged_resources: List[Dict[str, Any]] = []
+        self._merged_locks: List[Dict[str, Any]] = []
+        self._merged_intervals: List[Dict[str, Any]] = []
         if record_intervals:
             from ..sim.probes import SpanLinker
 
@@ -526,10 +553,72 @@ class ResourceProfiler:
             self.watched_locks.append((self.run, node, lock))
 
     # -- lifecycle --------------------------------------------------------
-    def finalize(self) -> None:
-        """Flush every probe's integrals; call once per finished run."""
+    def finalize(self, at: Optional[float] = None) -> None:
+        """Flush every probe's integrals; call once per finished run.
+
+        ``at`` pins every probe's horizon (shard profilers pass the
+        coordinator's global terminal time; see
+        :meth:`ResourceProbe.finalize`)."""
         for probe in self.probes:
-            probe.finalize()
+            probe.finalize(at)
+
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable frozen state, for merging elsewhere.
+
+        Call :meth:`finalize` first: probes are exported as plain dicts,
+        and the live lock objects are scraped here — nothing in the
+        snapshot references a simulator.
+        """
+        return {
+            "run": self.run,
+            "dropped": self.dropped,
+            "resources": [probe.to_dict() for probe in self.probes],
+            "locks": self._lock_stats(),
+            "intervals": list(self.intervals),
+            "intervals_dropped": self.intervals_dropped,
+        }
+
+    def merge_snapshot(
+        self,
+        snap: Dict[str, Any],
+        run_base: Optional[int] = None,
+        trace_offset: int = 0,
+        span_offset: int = 0,
+    ) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        ``run_base`` maps snapshot run ``r`` to ``run_base + r`` (same
+        convention as :meth:`TraceCollector.merge_snapshot`: default
+        concatenates runs, shard merges pass one fixed base).
+        ``trace_offset``/``span_offset`` must be the id offsets the
+        tracer merge applied to the same shard's spans, so interval
+        records keep joining to their spans in the critical-path
+        analyzer.
+        """
+        if run_base is None:
+            run_base = self.run
+        for entry in snap["resources"]:
+            entry = dict(entry)
+            entry["run"] += run_base
+            self._merged_resources.append(entry)
+        for row in snap["locks"]:
+            row = dict(row)
+            row["run"] += run_base
+            self._merged_locks.append(row)
+        for record in snap["intervals"]:
+            record = dict(record)
+            record["run"] += run_base
+            record["trace"] += trace_offset
+            record["span"] += span_offset
+            if len(self._merged_intervals) + len(self.intervals) \
+                    >= self.max_intervals:
+                self.intervals_dropped += 1
+            else:
+                self._merged_intervals.append(record)
+        self.dropped += snap["dropped"]
+        self.intervals_dropped += snap["intervals_dropped"]
+        self.run = max(self.run, run_base + snap["run"])
 
     # -- export -----------------------------------------------------------
     def _lock_stats(self) -> List[Dict[str, Any]]:
@@ -551,37 +640,55 @@ class ResourceProfiler:
         rows.sort(key=lambda r: (r["run"], r["node"], r["name"]))
         return rows
 
+    def resource_count(self) -> int:
+        """Exported resource entries: live probes plus merged-in records
+        (a parallel run's resources arrive via shard/worker snapshots and
+        never appear in ``probes``)."""
+        return len(self.probes) + len(self._merged_resources)
+
+    def all_intervals(self) -> List[Dict[str, Any]]:
+        """Merged-in plus live interval records, in export order.
+
+        Serial appends intervals in completion order, which is
+        non-decreasing in run; a stable sort by run restores exactly
+        that order when merged and live runs interleave.
+        """
+        intervals = self._merged_intervals + list(self.intervals)
+        intervals.sort(key=lambda r: r["run"])
+        return intervals
+
     def to_dict(self) -> Dict[str, Any]:
+        resources = [probe.to_dict() for probe in self.probes] \
+            + self._merged_resources
+        resources.sort(key=lambda e: (e["run"], e["kind"], e["name"]))
+        locks = self._lock_stats() + self._merged_locks
+        locks.sort(key=lambda r: (r["run"], r["node"], r["name"]))
         out = {
             "version": PROFILE_VERSION,
             "runs": self.run,
             "dropped": self.dropped,
-            "resources": [
-                probe.to_dict()
-                for probe in sorted(
-                    self.probes, key=lambda p: (p.run, p.kind, p.name)
-                )
-            ],
-            "locks": self._lock_stats(),
+            "resources": resources,
+            "locks": locks,
         }
         if self.linker is not None:
             # Only in interval mode, so profiles written without it (and
             # the committed CI baselines diffed against them) are
             # byte-for-byte what they always were.
-            out["intervals"] = list(self.intervals)
+            out["intervals"] = self.all_intervals()
             out["intervals_dropped"] = self.intervals_dropped
         return out
 
-    def to_json(self) -> str:
+    def to_json(self, meta=None) -> str:
         """Deterministic JSON (sorted keys, compact separators)."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        ) + "\n"
+        data = self.to_dict()
+        if meta:
+            data["meta"] = dict(meta)
+        return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
 
-    def write_json(self, path: Union[str, Path]) -> Path:
+    def write_json(self, path: Union[str, Path], meta=None) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_text(path, self.to_json())
+        write_text(path, self.to_json(meta))
         return path
 
     def __repr__(self) -> str:

@@ -332,6 +332,84 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable state of every metric, for merging elsewhere.
+
+        Metrics are listed in registration order; merging snapshots in a
+        stable order therefore reproduces the registration (and hence
+        exposition) order a serial run would have produced.
+        """
+        metrics = []
+        for metric in self._metrics.values():
+            entry: Dict[str, Any] = {
+                "name": metric.name,
+                "type": metric.type_name,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {
+                        "key": list(key),
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                    for key, child in metric._children.items()
+                ]
+            else:
+                entry["series"] = [
+                    {"key": list(key), "value": child.value}
+                    for key, child in metric._children.items()
+                ]
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram bucket counts/sums are added; gauges take
+        the snapshot's value (last writer wins, in merge order).  The
+        merge is associative and, for counters and histograms,
+        insensitive to the order snapshots are folded in.
+        """
+        for entry in snap["metrics"]:
+            name = entry["name"]
+            labelnames = tuple(entry["labelnames"])
+            if entry["type"] == "counter":
+                metric: _Metric = self.counter(name, entry["help"], labelnames)
+            elif entry["type"] == "gauge":
+                metric = self.gauge(name, entry["help"], labelnames)
+            elif entry["type"] == "histogram":
+                metric = self.histogram(
+                    name, entry["help"], labelnames, buckets=entry["buckets"]
+                )
+                if metric.buckets != tuple(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r}: cannot merge bucket bounds "
+                        f"{entry['buckets']} into {list(metric.buckets)}"
+                    )
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown type {entry['type']!r}"
+                )
+            for series in entry["series"]:
+                key = tuple(series["key"])
+                child = metric._children.get(key)
+                if child is None:
+                    child = metric._children[key] = metric._new_child()
+                if entry["type"] == "counter":
+                    child.inc(series["value"])
+                elif entry["type"] == "gauge":
+                    child.set(series["value"])
+                else:
+                    for i, c in enumerate(series["counts"]):
+                        child.counts[i] += c
+                    child.sum += series["sum"]
+                    child.count += series["count"]
+
     # -- exposition -------------------------------------------------------
     def self_check(self) -> None:
         """Validate promtool-style exposition invariants before emitting.
@@ -377,18 +455,34 @@ class MetricsRegistry:
         self.self_check()
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def write(self, path: Union[str, Path]) -> Path:
+    def write(self, path: Union[str, Path], meta=None) -> Path:
         """``.json`` => JSON; anything else => Prometheus text format.
 
         A trailing ``.gz`` (``metrics.json.gz``, ``metrics.prom.gz``)
         gzips the output; the format comes from the suffix underneath.
+        ``meta`` (the provenance manifest) lands under a top-level
+        ``"meta"`` key in JSON and as a leading ``# meta {...}`` comment
+        in the Prometheus text.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         if logical_suffix(path) == ".json":
-            write_text(path, self.render_json() + "\n")
+            self.self_check()
+            data = self.to_dict()
+            if meta:
+                data["meta"] = dict(meta)
+            write_text(
+                path, json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
         else:
-            write_text(path, self.render_prometheus())
+            text = self.render_prometheus()
+            if meta:
+                text = (
+                    "# meta "
+                    + json.dumps(meta, sort_keys=True, separators=(",", ":"))
+                    + "\n" + text
+                )
+            write_text(path, text)
         return path
 
     def __repr__(self) -> str:

@@ -38,10 +38,12 @@ import bisect
 import json
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..metrics.ascii import sparkline
-from .ioutil import read_text, write_text
+from .ioutil import meta_line, read_text, write_text
 
 __all__ = [
     "HIT_OUTCOMES",
@@ -205,6 +207,27 @@ class P2Quantile:
             return exact_percentile(self._heights, self.p)
         return self._heights[2]
 
+    def to_state(self) -> Dict[str, Any]:
+        """Exact marker state — a :meth:`from_state` round trip estimates
+        identically (P² is not mergeable; this is for shipping a sketch
+        across a process boundary, not for combining two)."""
+        return {
+            "p": self.p,
+            "count": self._count,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, Any]) -> "P2Quantile":
+        sketch = P2Quantile(state["p"])
+        sketch._count = state["count"]
+        sketch._heights = list(state["heights"])
+        sketch._positions = list(state["positions"])
+        sketch._desired = list(state["desired"])
+        return sketch
+
     def __repr__(self) -> str:
         return f"<P2Quantile p={self.p} n={self._count} est={self.value():.6g}>"
 
@@ -349,6 +372,34 @@ class TDigest:
     def centroid_count(self) -> int:
         self._compress()
         return len(self._means)
+
+    def to_state(self) -> Dict[str, Any]:
+        """Exact centroid state (buffer compressed first), picklable.
+
+        A :meth:`from_state` round trip reproduces the digest bit-for-bit
+        — the same centroids a local :meth:`quantile` call would have
+        compressed to — so exports from a shipped sketch are
+        byte-identical to exports from the original.
+        """
+        self._compress()
+        return {
+            "compression": self.compression,
+            "means": list(self._means),
+            "weights": list(self._weights),
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, Any]) -> "TDigest":
+        digest = TDigest(state["compression"])
+        digest._means = list(state["means"])
+        digest._weights = list(state["weights"])
+        digest._count = state["count"]
+        digest._min = state["min"]
+        digest._max = state["max"]
+        return digest
 
     def __repr__(self) -> str:
         return (
@@ -555,6 +606,57 @@ class StreamingWindow:
                 out.exact.extend(src.exact or ())
         out.queue_depth = other.queue_depth if other.t1 >= self.t1 else self.queue_depth
         return out
+
+    def to_state(self) -> Dict[str, Any]:
+        """Full-fidelity picklable state (unlike :meth:`to_dict`, which
+        is the lossy export form): sketches round-trip exactly, so a
+        window shipped across a process boundary exports byte-identically
+        to the original."""
+        return {
+            "run": self.run,
+            "index": self.index,
+            "t0": self.t0,
+            "t1": self.t1,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "errors": self.errors,
+            "hits": self.hits,
+            "misses": self.misses,
+            "latency_sum": self.latency_sum,
+            "latency_min": self.latency_min,
+            "latency_max": self.latency_max,
+            "digest": self.digest.to_state(),
+            "p50_sketch": self.p50_sketch.to_state(),
+            "p99_sketch": self.p99_sketch.to_state(),
+            "by_outcome": {k: list(v) for k, v in self.by_outcome.items()},
+            "exact": list(self.exact) if self.exact is not None else None,
+            "queue_depth": self.queue_depth,
+            "queue_growth": self.queue_growth,
+            "rho": self.rho,
+            "signals": list(self.signals),
+            "closed": self.closed,
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, Any]) -> "StreamingWindow":
+        window = StreamingWindow(
+            state["run"], state["index"], state["t0"], state["t1"],
+            compression=state["digest"]["compression"],
+            keep_exact=state["exact"] is not None,
+        )
+        for attr in (
+            "arrivals", "completions", "errors", "hits", "misses",
+            "latency_sum", "latency_min", "latency_max",
+            "queue_depth", "queue_growth", "rho", "closed",
+        ):
+            setattr(window, attr, state[attr])
+        window.digest = TDigest.from_state(state["digest"])
+        window.p50_sketch = P2Quantile.from_state(state["p50_sketch"])
+        window.p99_sketch = P2Quantile.from_state(state["p99_sketch"])
+        window.by_outcome = {k: list(v) for k, v in state["by_outcome"].items()}
+        window.exact = list(state["exact"]) if state["exact"] is not None else None
+        window.signals = list(state["signals"])
+        return window
 
     def to_dict(self) -> Dict[str, Any]:
         has_latency = self.completions > 0
@@ -782,6 +884,123 @@ class StreamingTelemetry:
         """Requests injected but not yet completed (this run)."""
         return self._arrivals - self._completions
 
+    # -- snapshot / merge --------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable state for merging elsewhere.
+
+        Call :meth:`finalize` first so the in-flight window is included.
+        """
+        return {
+            "windows": [w.to_state() for w in self.windows],
+            "run": self.run,
+            "dropped": self.dropped,
+            "gap_windows_skipped": self.gap_windows_skipped,
+        }
+
+    def merge_snapshot(
+        self, snap: Dict[str, Any], run_base: Optional[int] = None
+    ) -> None:
+        """Concatenate another telemetry's :meth:`snapshot` runs onto
+        this one's — the ``--jobs`` case, where each worker cell is a
+        later run of the same sweep.  Windows round-trip exactly, so the
+        merged export is byte-identical to the serial sweep's."""
+        if run_base is None:
+            run_base = self.run
+        for state in snap["windows"]:
+            window = StreamingWindow.from_state(state)
+            window.run += run_base
+            if len(self.windows) < self.max_windows:
+                self.windows.append(window)
+            else:
+                self.dropped += 1
+        self.dropped += snap["dropped"]
+        self.gap_windows_skipped += snap["gap_windows_skipped"]
+        self.run = max(self.run, run_base + snap["run"])
+
+    def merge_shard_snapshots(
+        self,
+        snaps: Sequence[Dict[str, Any]],
+        run_base: Optional[int] = None,
+        n_servers: Optional[int] = None,
+    ) -> None:
+        """Fold per-shard snapshots of ONE partitioned simulation.
+
+        Same-index windows from different shards are merged with
+        :meth:`StreamingWindow.merge` (counts, sums and digests are
+        associative), except queue depth, which is *summed* — each shard
+        tracks its own arrival/completion backlog, and backlogs add.
+        Queue growth, ρ (against the full-cluster ``n_servers``, not a
+        shard's share) and SLO signals are then recomputed in window
+        order, replaying the same streak logic a serial close sequence
+        runs.  Counts are exact; merged digest quantiles (and hence a
+        ``p99_latency`` SLO) are sketch-path-dependent and may differ
+        slightly from the serial sketch.
+        """
+        if run_base is None:
+            run_base = self.run
+        if n_servers is not None:
+            self.n_servers = n_servers
+        by_key: Dict[Tuple[int, int], StreamingWindow] = {}
+        max_run = 0
+        for snap in snaps:
+            max_run = max(max_run, snap["run"])
+            self.dropped += snap["dropped"]
+            self.gap_windows_skipped += snap["gap_windows_skipped"]
+            for state in snap["windows"]:
+                window = StreamingWindow.from_state(state)
+                key = (window.run, window.index)
+                cur = by_key.get(key)
+                if cur is None:
+                    by_key[key] = window
+                else:
+                    depth = cur.queue_depth + window.queue_depth
+                    merged = cur.merge(window)
+                    merged.run = cur.run
+                    merged.queue_depth = depth
+                    merged.closed = True
+                    by_key[key] = merged
+        # Second pass, in window order: growth, rho, signals, streaks.
+        self.reset_saturation()
+        servers = max(1, self.n_servers)
+        last_run: Optional[int] = None
+        last_depth = 0.0
+        for key in sorted(by_key):
+            window = by_key[key]
+            if window.run != last_run:
+                last_run = window.run
+                last_depth = 0.0
+                self._streak = 0
+            window.queue_growth = window.queue_depth - last_depth
+            last_depth = window.queue_depth
+            lam = window.rate
+            window.rho = (
+                lam * window.mean_latency / servers if window.completions else 0.0
+            )
+            self.rate_ewma.update(lam, window.width)
+            if window.completions:
+                self.latency_ewma.update(window.mean_latency, window.width)
+            slo = self.slo
+            window.signals = []
+            if window.completions and window.p99 > slo.p99_latency:
+                window.signals.append("p99")
+            if window.rho > slo.max_rho:
+                window.signals.append("rho")
+            if window.queue_growth > slo.max_queue_growth:
+                window.signals.append("queue")
+            if window.signals and window.index >= slo.warmup_windows:
+                self._streak += 1
+                if self._streak >= slo.consecutive \
+                        and self._saturated_window is None:
+                    self._saturated_window = window.index
+            else:
+                self._streak = 0
+            window.run += run_base
+            if len(self.windows) < self.max_windows:
+                self.windows.append(window)
+            else:
+                self.dropped += 1
+        self.run = max(self.run, run_base + max_run)
+
     # -- summaries and export ----------------------------------------------
     def summary_digest(self, run: Optional[int] = None) -> TDigest:
         """All window digests merged — the mergeable-sketch payoff."""
@@ -807,8 +1026,12 @@ class StreamingTelemetry:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path, tag: Optional[Dict[str, Any]] = None) -> None:
-        write_text(path, self.to_jsonl(tag))
+    def write_jsonl(self, path, tag: Optional[Dict[str, Any]] = None,
+                    meta: Optional[Dict[str, Any]] = None) -> None:
+        text = self.to_jsonl(tag)
+        if meta:
+            text = meta_line(meta) + "\n" + text
+        write_text(path, text)
 
     def __repr__(self) -> str:
         return (

@@ -16,9 +16,10 @@ per-series sparkline dashboards via :func:`render_timeseries_dashboard`.
 
 Scheduling note: the sampler *does* add timeout events to the
 simulation, but they carry no side effects and draw no random numbers,
-so the simulated behaviour of every other process is unchanged; like
-tracing, runs with the sampler attached fall back to serial sweeps
-(``experiments/parallel.effective_jobs``).
+so the simulated behaviour of every other process is unchanged.  Sampled
+runs no longer force serial execution: each ``--jobs`` worker and each
+PDES shard keeps its own :class:`TimeSeriesLog` and ships a snapshot
+back for a deterministic merge (:meth:`TimeSeriesLog.merge_snapshot`).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..metrics.ascii import sparkline
 
-from .ioutil import read_text, write_text
+from .ioutil import meta_line, read_text, write_text
 
 __all__ = [
     "TimeSeriesLog",
@@ -84,6 +85,59 @@ class TimeSeriesLog:
     def runs(self) -> List[int]:
         return sorted({s["run"] for s in self.samples})
 
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable state of this log, for merging elsewhere."""
+        return {
+            "samples": [dict(s) for s in self.samples],
+            "dropped": self.dropped,
+            "run": self.run,
+        }
+
+    def merge_snapshot(
+        self,
+        snap: Dict[str, Any],
+        run_base: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        """Fold another log's :meth:`snapshot` into this one.
+
+        ``run_base`` maps snapshot run ``r`` to ``run_base + r`` (default:
+        this log's current ``run``, i.e. sequential concatenation — the
+        ``--jobs`` case).  Shard merges of one partitioned run pass the
+        same fixed ``run_base`` for every shard; samples taken by
+        different shards at the same ``(run, t)`` are unioned into one
+        record, and ``horizon`` drops shard samples taken past the global
+        terminal time (shard simulators may overshoot it by up to one
+        conservative window — see :mod:`repro.sim.pdes`).
+        """
+        if run_base is None:
+            run_base = self.run
+        index: Dict[Tuple[int, float], Dict[str, Any]] = {}
+        if horizon is not None:
+            # Shard merge: union same-instant samples across shards.
+            index = {(s["run"], s["t"]): s for s in self.samples}
+        for sample in snap["samples"]:
+            run = sample["run"] + run_base
+            t = sample["t"]
+            if horizon is not None and t > horizon:
+                continue
+            existing = index.get((run, t))
+            if existing is not None:
+                existing["series"].update(sample["series"])
+                continue
+            if len(self.samples) >= self.max_samples:
+                self.dropped += 1
+                continue
+            merged = {"run": run, "t": t, "series": dict(sample["series"])}
+            self.samples.append(merged)
+            if horizon is not None:
+                index[(run, t)] = merged
+        self.dropped += snap["dropped"]
+        self.run = max(self.run, run_base + snap["run"])
+        if horizon is not None:
+            self.samples.sort(key=lambda s: (s["run"], s["t"]))
+
     def __len__(self) -> int:
         return len(self.samples)
 
@@ -96,10 +150,13 @@ class TimeSeriesLog:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path: Union[str, Path]) -> Path:
+    def write_jsonl(self, path: Union[str, Path], meta=None) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_text(path, self.to_jsonl())
+        text = self.to_jsonl()
+        if meta:
+            text = meta_line(meta) + "\n" + text
+        write_text(path, text)
         return path
 
     def __repr__(self) -> str:
@@ -186,6 +243,8 @@ def load_timeseries(path: Union[str, Path]) -> TimeSeriesLog:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+        if data.get("type") == "meta":
+            continue  # provenance manifest, not a sample
         log.samples.append(data)
         log.run = max(log.run, data.get("run", 0))
     return log

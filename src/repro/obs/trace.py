@@ -30,13 +30,12 @@ streams back together.
 
 from __future__ import annotations
 
-import itertools
 import json
 from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
-from .ioutil import read_text, write_text
+from .ioutil import meta_line, read_text, write_text
 
 __all__ = [
     "Span",
@@ -186,8 +185,10 @@ class TraceCollector:
         #: Bumped by :meth:`new_run`; stamped on every span so one
         #: collector can cover several back-to-back simulations.
         self.run = 0
-        self._trace_ids = itertools.count(1)
-        self._span_ids = itertools.count(1)
+        # Plain ints (not itertools.count) so snapshot/merge can read and
+        # advance them when folding shard-local collectors together.
+        self._next_trace = 1
+        self._next_span = 1
 
     # -- span creation ----------------------------------------------------
     def new_run(self, label: Optional[str] = None) -> int:
@@ -205,8 +206,10 @@ class TraceCollector:
         **attrs: Any,
     ) -> Span:
         """Open a root span under a brand-new trace id."""
+        trace_id = self._next_trace
+        self._next_trace += 1
         return self._make(
-            next(self._trace_ids), None, name, node, "other", start, tick, attrs
+            trace_id, None, name, node, "other", start, tick, attrs
         )
 
     def start_span(
@@ -236,8 +239,10 @@ class TraceCollector:
         attrs = dict(attrs)
         if self.run:
             attrs.setdefault("run", self.run)
+        span_id = self._next_span
+        self._next_span += 1
         span = Span(
-            trace_id, next(self._span_ids), parent_id, name, node, category,
+            trace_id, span_id, parent_id, name, node, category,
             start, tick, attrs,
         )
         if len(self.spans) >= self.max_spans:
@@ -268,6 +273,72 @@ class TraceCollector:
     def __len__(self) -> int:
         return len(self.spans)
 
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable state of this collector, for merging elsewhere.
+
+        The span list keeps creation order (not export order) so a merge
+        preserves the relative interleaving the shard observed.
+        """
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "dropped": self.dropped,
+            "events": list(self.events),
+            "events_dropped": self.events_dropped,
+            "run": self.run,
+            "next_trace": self._next_trace,
+            "next_span": self._next_span,
+        }
+
+    def merge_snapshot(
+        self, snap: Dict[str, Any], run_base: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Fold another collector's :meth:`snapshot` into this one.
+
+        Trace and span ids are namespaced by this collector's current
+        counters, so ``(trace_id, span_id)`` join keys stay unique — the
+        same offsets must be applied to any profiler intervals that
+        reference these spans (see ``ResourceProfiler.merge_snapshot``).
+
+        ``run_base`` maps the snapshot's run ``r`` to ``run_base + r``.
+        The default (this collector's current ``run``) concatenates runs
+        sequentially — correct for ``--jobs`` cell fan-out, where each
+        cell *is* a later run.  Shard merges of one partitioned
+        simulation pass the same fixed ``run_base`` for every shard so
+        all shards land in the same merged run.  Span ``tick`` values
+        are kept as recorded: per-simulator event counters, meaningful
+        for ordering only within one shard's run.
+
+        Returns the ``(trace_offset, span_offset)`` applied, so callers
+        can apply the same offsets to records that join on span ids
+        (:meth:`ResourceProfiler.merge_snapshot`).
+        """
+        if run_base is None:
+            run_base = self.run
+        trace_off = self._next_trace - 1
+        span_off = self._next_span - 1
+        for data in snap["spans"]:
+            span = Span.from_dict(data)
+            span.trace_id += trace_off
+            span.span_id += span_off
+            if span.parent_id is not None:
+                span.parent_id += span_off
+            if "run" in span.attrs:
+                span.attrs["run"] += run_base
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                span.recorded = False
+            else:
+                self.spans.append(span)
+        self.dropped += snap["dropped"]
+        for time, kind, detail in snap["events"]:
+            self.record_event(time, kind, detail)
+        self.events_dropped += snap["events_dropped"]
+        self._next_trace += snap["next_trace"] - 1
+        self._next_span += snap["next_span"] - 1
+        self.run = max(self.run, run_base + snap["run"])
+        return trace_off, span_off
+
     # -- export -----------------------------------------------------------
     def to_jsonl(self) -> str:
         """Deterministic JSONL: spans in (trace, span-id) order, then the
@@ -287,10 +358,13 @@ class TraceCollector:
             )
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path: Union[str, Path]) -> Path:
+    def write_jsonl(self, path: Union[str, Path], meta=None) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_text(path, self.to_jsonl())
+        text = self.to_jsonl()
+        if meta:
+            text = meta_line(meta) + "\n" + text
+        write_text(path, text)
         return path
 
     def __repr__(self) -> str:
@@ -356,6 +430,8 @@ def load_jsonl(path: Union[str, Path], strict: bool = True) -> TraceDump:
                 events.append((data["time"], data["kind"], data["detail"]))
             elif data.get("type") == "span":
                 spans.append(Span.from_dict(data))
+            elif data.get("type") == "meta":
+                continue  # provenance manifest, not trace content
             else:
                 raise KeyError(f"unknown record type {data.get('type')!r}")
         except (KeyError, TypeError, AttributeError) as exc:

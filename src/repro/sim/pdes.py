@@ -101,9 +101,15 @@ class ShardSpec:
     #: (e.g. the AllOf over its client processes); ``None`` for a purely
     #: passive shard that just serves the others.
     terminal: Optional[Event] = None
-    #: Called after the run; must return a *picklable* result (process
-    #: backend ships it over a pipe).
-    finalize: Callable[[], Any] = field(default=lambda: None)
+    #: Called after the run with the coordinator's global terminal time
+    #: (the latest shard-terminal fire time, or ``None`` when no shard
+    #: declared a terminal); must return a *picklable* result (process
+    #: backend ships it over a pipe).  Shard-local observability uses
+    #: the horizon to freeze integrals at the run's true end rather than
+    #: the shard's overshot local clock.
+    finalize: Callable[[Optional[float]], Any] = field(
+        default=lambda horizon: None
+    )
 
 
 def _inject(network, msg, _evt=None) -> None:
@@ -117,9 +123,22 @@ class InlineShard:
         self.spec = spec
         self.hosts = list(spec.hosts)
         self.has_terminal = spec.terminal is not None
+        # Record the sim-time the terminal fires at: the coordinator's
+        # global terminal time (max over shards) is what shard-local
+        # observability freezes its integrals at, since every shard's
+        # own clock overshoots the run's end by up to one window.
+        self._terminal_time: List[Optional[float]] = [None]
+        if spec.terminal is not None:
+            cell, sim = self._terminal_time, spec.sim
 
-    def sync(self, batch) -> Tuple[float, bool]:
-        """Inject ``batch`` and report (next event time, terminal fired)."""
+            def _record(event, _cell=cell, _sim=sim) -> None:
+                _cell[0] = _sim.now
+
+            spec.terminal.callbacks.append(_record)
+
+    def sync(self, batch) -> Tuple[float, bool, Optional[float]]:
+        """Inject ``batch``; report (next event time, terminal fired,
+        terminal fire time)."""
         sim = self.spec.sim
         network = self.spec.network
         for msg in batch:
@@ -129,14 +148,15 @@ class InlineShard:
                 partial(_inject, network, msg)
             )
         terminal = self.spec.terminal
-        return sim.peek(), terminal is not None and terminal.triggered
+        done = terminal is not None and terminal.triggered
+        return sim.peek(), done, self._terminal_time[0]
 
     def advance(self, horizon: float) -> list:
         self.spec.sim.run_window(horizon)
         return self.spec.router.drain()
 
-    def finalize(self) -> Any:
-        return self.spec.finalize()
+    def finalize(self, horizon: Optional[float] = None) -> Any:
+        return self.spec.finalize(horizon)
 
     def stop(self) -> None:
         pass
@@ -157,7 +177,7 @@ def _shard_worker(conn, builder, kwargs, scheduler) -> None:
         elif cmd == "advance":
             conn.send(shard.advance(arg))
         elif cmd == "finalize":
-            conn.send(shard.finalize())
+            conn.send(shard.finalize(arg))
         elif cmd == "stop":
             conn.close()
             return
@@ -208,8 +228,8 @@ class ProcessShard:
         self.advance_send(horizon)
         return self.recv()
 
-    def finalize(self):
-        self._conn.send(("finalize", None))
+    def finalize(self, horizon: Optional[float] = None):
+        self._conn.send(("finalize", horizon))
         return self.recv()
 
     def stop(self) -> None:
@@ -244,6 +264,10 @@ class ConservativeCoordinator:
         self.shards = list(shards)
         self.lookahead = lookahead
         self.rounds = 0
+        #: Latest shard-terminal fire time once :meth:`run` returns — the
+        #: run's true end, matching the serial ``sim.run(until=...)``
+        #: stop instant; ``None`` for quiescence-terminated runs.
+        self.terminal_time: Optional[float] = None
         self._host_shard: Dict[str, int] = {}
         for idx, shard in enumerate(self.shards):
             for host in shard.hosts:
@@ -274,8 +298,10 @@ class ConservativeCoordinator:
                     shard.sync(batch) for shard, batch in zip(shards, batches)
                 ]
             if self._finished(statuses):
+                times = [t for _, _, t in statuses if t is not None]
+                self.terminal_time = max(times) if times else None
                 return
-            horizon = min(t for t, _ in statuses) + self.lookahead
+            horizon = min(t for t, _, _ in statuses) + self.lookahead
             if horizon == inf:
                 raise DeadlockError(
                     "all shards idle but a terminal event never fired"
@@ -295,13 +321,15 @@ class ConservativeCoordinator:
         if any(self._terminals):
             return all(
                 done
-                for (_, done), has_term in zip(statuses, self._terminals)
+                for (_, done, _), has_term in zip(statuses, self._terminals)
                 if has_term
             )
-        return all(t == inf for t, _ in statuses)
+        return all(t == inf for t, _, _ in statuses)
 
     def finalize(self) -> list:
-        return [shard.finalize() for shard in self.shards]
+        """Collect every shard's finalized result, handing each the
+        global terminal time (see :attr:`terminal_time`)."""
+        return [shard.finalize(self.terminal_time) for shard in self.shards]
 
     def stop(self) -> None:
         for shard in self.shards:

@@ -178,3 +178,76 @@ class TestClusterBuilder:
         sim, cluster = build_cluster(2)
         send(sim, cluster, 0, [CGI])
         assert cluster.total_cached_entries() == 1
+
+
+class TestEvictionDuringServe:
+    """A capacity eviction can land while a serving thread is parked in
+    the open/stat syscall, unlinking the file it is about to read.  The
+    serve must fall through to the existing vanished-entry paths (miss /
+    false hit), not crash the request thread.  Regression: hypothesis
+    found this with capacity 1 via test_store_capacity_respected."""
+
+    def _prime(self, n=1, **config_kw):
+        config_kw.setdefault("mode", CacheMode.STANDALONE)
+        config_kw.setdefault("cache_capacity", 1)
+        sim, cluster = build_cluster(n, **config_kw)
+        send(sim, cluster, 0, [CGI])
+        assert cluster.servers[0].cacher.store.get(CGI.url) is not None
+        return sim, cluster
+
+    def _rival(self, owner, now):
+        from repro.cache import CacheEntry
+
+        return CacheEntry(
+            url="/cgi-bin/q?x=2", owner=owner, size=2_000,
+            exec_time=0.5, created=now, ttl=1_000.0,
+        )
+
+    def test_fetch_local_returns_none_when_file_vanishes_mid_open(self):
+        sim, cluster = self._prime()
+        cacher = cluster.servers[0].cacher
+        result = {}
+
+        def fetcher():
+            result["entry"] = yield from cacher.fetch_local(CGI.url)
+
+        def evictor():
+            # Lands inside serve_file's open/stat compute (syscall_cpu).
+            yield sim.timeout(0.00002)
+            cacher.store.insert(self._rival(cacher.name, sim.now), sim.now)
+
+        sim.process(fetcher(), name="fetcher")
+        sim.process(evictor(), name="evictor")
+        sim.run(until=sim.now + 1.0)
+        assert result["entry"] is None
+        assert cacher.store.get(CGI.url) is None  # the eviction won
+
+    def test_fetch_server_replies_miss_when_file_vanishes_mid_serve(self):
+        from repro.core.protocol import FetchRequest
+
+        sim, cluster = self._prime(n=2, mode=CacheMode.COOPERATIVE)
+        owner, peer = cluster.servers
+        box = cluster.network.register(peer.name, "fetch-reply-test")
+        replies = []
+
+        def receiver():
+            msg = yield box.get()
+            replies.append(msg.payload)
+
+        def evictor():
+            # Lands after dispatch_thread (0.0002) inside the open/stat.
+            yield sim.timeout(0.00022)
+            owner.cacher.store.insert(
+                self._rival(owner.cacher.name, sim.now), sim.now
+            )
+
+        freq = FetchRequest(
+            url=CGI.url, requester=peer.name,
+            reply_port="fetch-reply-test", seq=1,
+        )
+        sim.process(owner.cacher._serve_fetch(freq), name="serve-fetch")
+        sim.process(evictor(), name="evictor")
+        sim.process(receiver(), name="receiver")
+        sim.run(until=sim.now + 1.0)
+        assert replies and replies[0].hit is False
+        assert owner.cacher.stats.false_hits_served == 1

@@ -108,13 +108,25 @@ def test_serial_matches_parallel_table2():
     assert run_table2(**kw) == run_table2(**kw, jobs=2)
 
 
-def test_tracing_forces_serial():
-    """An active observer must pin fanout to one process: spans cannot
-    cross a process boundary, so silently dropping them in workers would
-    make ``--jobs`` change observable output."""
+def test_tracing_no_longer_forces_serial():
+    """Mergeable observers ride along with ``--jobs``: each worker runs a
+    shard-local collector and the parent folds the snapshots back in cell
+    order, so an active tracer keeps the requested parallelism."""
     with observe_runs(RunObserver(tracer=TraceCollector())):
-        assert effective_jobs(4, 10) == 1
+        assert effective_jobs(4, 10) == 4
     assert effective_jobs(4, 10) == 4
+
+
+def test_oracle_still_forces_serial():
+    """The consistency oracle audits the global event order; it cannot be
+    merged from per-worker shards, so it pins fanout to one process (with
+    a warning the CLI surfaces)."""
+    import pytest
+    from repro.obs import ConsistencyOracle
+
+    with observe_runs(RunObserver(oracle=ConsistencyOracle())):
+        with pytest.warns(RuntimeWarning, match="audit-out"):
+            assert effective_jobs(4, 10) == 1
 
 
 def test_effective_jobs_clamps():
@@ -138,7 +150,8 @@ def test_fanout_preserves_cell_order():
 
 def test_traced_run_identical_under_jobs_flag(tmp_path):
     """--jobs plus tracing produces a byte-identical span file to the
-    serial run (because tracing forces serial)."""
+    serial run: per-worker snapshots merge in cell order, reproducing the
+    serial run numbering and span ids exactly."""
     serial = _traced_figure3(tmp_path / "serial.jsonl")
     jobs = _traced_figure3(tmp_path / "jobs.jsonl", jobs=4)
     assert serial == jobs

@@ -173,7 +173,7 @@ def _build_echo_shard(me, peer, n):
     terminal = _echo_model(sim, network, me, peer, n, record)
     return ShardSpec(
         sim=sim, network=network, router=router, hosts=[me],
-        terminal=terminal, finalize=lambda: record,
+        terminal=terminal, finalize=lambda horizon: record,
     ), record
 
 
@@ -342,20 +342,42 @@ def test_resolve_backend():
     assert resolve_backend("auto", 4) in ("inline", "process")
 
 
-def test_observed_runs_stay_serial():
-    # With an observer active, run_cluster_trace must ignore partitioning
-    # (the observability taps assume a single simulator).
+def test_observed_runs_take_partitioned_path():
+    # Observers no longer force the serial path: shard-local collectors
+    # run inside each shard and their snapshots merge into the live
+    # observer (counter-identical to a serial observed run).
     from repro.experiments.common import RunObserver, observe_runs
+    from repro.experiments.partition import PartitionedClusterResult
     from repro.obs import TraceCollector
 
     trace = zipf_cgi_trace(40, 10, zipf=0.9, cpu_time_mean=0.2, seed=3)
+    observer = RunObserver(tracer=TraceCollector())
     with using_partitions(2, "inline"):
-        with observe_runs(RunObserver(tracer=TraceCollector())):
+        with observe_runs(observer):
             times, cluster = run_cluster_trace(
                 2, CacheMode.COOPERATIVE, trace, n_threads=2, n_hosts=1
             )
-    # The serial path returns a real SwalaCluster.
-    from repro.core import SwalaCluster
+    assert isinstance(cluster, PartitionedClusterResult)
+    assert times.count == 40
+    # The merged tracer saw the whole run, in one run number.
+    assert observer.tracer.spans
+    assert {s.attrs.get("run") for s in observer.tracer.spans
+            if "run" in s.attrs} <= {1}
 
+
+def test_observed_runs_with_oracle_stay_serial():
+    # The consistency oracle audits global event order; it cannot be
+    # sharded, so an audit-observed run warns and takes the serial path.
+    from repro.experiments.common import RunObserver, observe_runs
+    from repro.core import SwalaCluster
+    from repro.obs import ConsistencyOracle
+
+    trace = zipf_cgi_trace(40, 10, zipf=0.9, cpu_time_mean=0.2, seed=3)
+    with using_partitions(2, "inline"):
+        with observe_runs(RunObserver(oracle=ConsistencyOracle())):
+            with pytest.warns(RuntimeWarning, match="audit-out"):
+                times, cluster = run_cluster_trace(
+                    2, CacheMode.COOPERATIVE, trace, n_threads=2, n_hosts=1
+                )
     assert isinstance(cluster, SwalaCluster)
     assert times.count == 40

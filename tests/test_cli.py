@@ -226,7 +226,11 @@ class TestTracing:
     def test_run_config_writes_artifacts(self, span_file):
         spans, metrics = span_file
         assert spans.exists()
-        assert metrics.read_text().startswith("# HELP")
+        # First line is the provenance manifest, then Prometheus text.
+        meta, rest = metrics.read_text().split("\n", 1)
+        assert meta.startswith("# meta {")
+        assert '"command":"run-config"' in meta
+        assert rest.startswith("# HELP")
 
     def test_trace_default_report(self, capsys, span_file):
         spans, _ = span_file
